@@ -1,0 +1,46 @@
+//! Criterion benchmark regenerating Figure 7 (delays): ring deals of varying
+//! size under the delay-relevant protocol options.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xchain_deals::builders::ring_spec;
+use xchain_deals::cbc::{run_cbc, CbcOptions};
+use xchain_deals::setup::world_for_spec;
+use xchain_deals::timelock::{run_timelock, TimelockOptions};
+use xchain_sim::ids::DealId;
+use xchain_sim::network::NetworkModel;
+use xchain_sim::time::Duration;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_delays");
+    group.sample_size(10);
+    for n in [3u32, 6, 9] {
+        let spec = ring_spec(DealId(n as u64), n);
+        group.bench_with_input(BenchmarkId::new("timelock_forwarded", n), &spec, |b, spec| {
+            b.iter(|| {
+                let mut world = world_for_spec(spec, NetworkModel::synchronous(100), 2).unwrap();
+                run_timelock(&mut world, spec, &[], &TimelockOptions::default()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("timelock_broadcast", n), &spec, |b, spec| {
+            b.iter(|| {
+                let mut world = world_for_spec(spec, NetworkModel::synchronous(100), 2).unwrap();
+                let opts = TimelockOptions {
+                    altruistic_broadcast: true,
+                    concurrent_transfers: true,
+                    delta: Duration(100),
+                };
+                run_timelock(&mut world, spec, &[], &opts).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cbc", n), &spec, |b, spec| {
+            b.iter(|| {
+                let mut world = world_for_spec(spec, NetworkModel::synchronous(100), 2).unwrap();
+                run_cbc(&mut world, spec, &[], &CbcOptions::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

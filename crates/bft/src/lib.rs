@@ -1,0 +1,35 @@
+//! # xchain-bft
+//!
+//! Certified blockchain (CBC) substrates for the reproduction of *Cross-chain
+//! Deals and Adversarial Commerce* (Herlihy, Liskov, Shrira, VLDB 2019).
+//!
+//! The CBC protocol of Section 6 replaces the classical two-phase-commit
+//! coordinator with a shared, totally-ordered, certified log. This crate
+//! provides two realizations:
+//!
+//! * [`log::CbcLog`] — a BFT-style certified log: `3f + 1` validators, blocks
+//!   vouched for by `2f + 1`-signature [`certificate::Certificate`]s,
+//!   validator reconfiguration, censorship modelling, and extraction of
+//!   [`proof::StatusCertificate`] / [`proof::BlockProof`] evidence that escrow
+//!   contracts on asset chains can check.
+//! * [`pow`] — a Nakamoto-style proof-of-work chain used to reproduce the
+//!   Section 6.2 discussion: PoW proofs lack finality, the private-abort-block
+//!   attack, and the confirmation-depth mitigation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod certificate;
+pub mod log;
+pub mod pow;
+pub mod proof;
+pub mod validator;
+
+pub use certificate::{CertCheck, CertFailure, Certificate};
+pub use log::{CbcError, CbcLog, CbcRecord, CertifiedBlock};
+pub use pow::{
+    analytic_success_probability, attack_success_rate, simulate_attack_trial, Miner, PowAttackParams,
+    PowAttackTrial, PowBlock, PowFork,
+};
+pub use proof::{BlockProof, BlockProofCheck, DealStatus, StatusCertificate};
+pub use validator::{validator_party_id, ValidatorSet, ValidatorSetInfo, VALIDATOR_PARTY_OFFSET};

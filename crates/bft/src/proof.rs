@@ -1,0 +1,345 @@
+//! Cross-chain proofs of commit and abort (Section 6.2).
+//!
+//! Escrow contracts on asset blockchains cannot read the CBC; a party claiming
+//! an asset (or a refund) must present evidence that the deal committed (or
+//! aborted) on the CBC. Two forms are implemented:
+//!
+//! * [`StatusCertificate`] — the optimized form: the CBC's validator quorum
+//!   signs the deal's current status, so the contract verifies `2f + 1`
+//!   signatures.
+//! * [`BlockProof`] — the straightforward form: the certified blocks
+//!   mentioning the deal (plus reconfigurations), which the contract replays
+//!   to determine the decisive vote. Much more expensive to verify, which is
+//!   exactly the trade-off the paper describes.
+
+use serde::{Deserialize, Serialize};
+use xchain_sim::crypto::{Hash, KeyDirectory};
+use xchain_sim::ids::{DealId, PartyId};
+use xchain_sim::time::Time;
+
+use crate::certificate::Certificate;
+use crate::log::{CbcRecord, CertifiedBlock};
+use crate::validator::ValidatorSetInfo;
+
+/// The state of a deal as recorded on the CBC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DealStatus {
+    /// Not yet decided: neither a full set of commit votes nor an abort vote.
+    Active,
+    /// Every party voted commit before any abort vote; the vote at
+    /// `decisive_index` completed the set.
+    Committed {
+        /// Log index of the decisive (final missing) commit vote.
+        decisive_index: u64,
+    },
+    /// Some party voted abort before every party had voted commit.
+    Aborted {
+        /// Log index of the decisive abort vote.
+        decisive_index: u64,
+    },
+}
+
+impl DealStatus {
+    /// True if the deal committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, DealStatus::Committed { .. })
+    }
+
+    /// True if the deal aborted.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, DealStatus::Aborted { .. })
+    }
+
+    /// Numeric tag used in certified payloads.
+    pub fn tag(&self) -> u64 {
+        match self {
+            DealStatus::Active => 0,
+            DealStatus::Committed { .. } => 1,
+            DealStatus::Aborted { .. } => 2,
+        }
+    }
+}
+
+/// A validator-quorum certificate over the deal's status — the proof form the
+/// CBC manager contract checks in the common case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusCertificate {
+    /// The deal.
+    pub deal: DealId,
+    /// The definitive startDeal hash.
+    pub start_hash: Hash,
+    /// The certified status.
+    pub status: DealStatus,
+    /// When the certificate was issued (CBC time).
+    pub issued_at: Time,
+    /// The quorum certificate over [`Self::payload_words`].
+    pub certificate: Certificate,
+}
+
+impl StatusCertificate {
+    /// The canonical payload the validators sign.
+    pub fn payload_words(deal: DealId, start_hash: Hash, status: &DealStatus) -> Vec<u64> {
+        let decisive = match status {
+            DealStatus::Active => 0,
+            DealStatus::Committed { decisive_index } | DealStatus::Aborted { decisive_index } => {
+                *decisive_index
+            }
+        };
+        vec![0xCE27u64, deal.0, start_hash.0, status.tag(), decisive]
+    }
+
+    /// The payload of *this* certificate.
+    pub fn payload(&self) -> Vec<u64> {
+        Self::payload_words(self.deal, self.start_hash, &self.status)
+    }
+
+    /// Verifies the certificate against a validator set (gas-free helper used
+    /// off-chain; the on-chain path goes through the CBC manager contract so
+    /// each signature verification is charged).
+    pub fn verify(&self, validators: &ValidatorSetInfo, keys: &KeyDirectory) -> bool {
+        self.certificate
+            .verify(validators, &self.payload(), keys)
+            .valid
+    }
+}
+
+/// The straightforward proof: all certified blocks mentioning the deal, plus
+/// reconfiguration blocks, in log order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockProof {
+    /// The deal.
+    pub deal: DealId,
+    /// The definitive startDeal hash.
+    pub start_hash: Hash,
+    /// The certified blocks, in log order.
+    pub blocks: Vec<CertifiedBlock>,
+}
+
+/// Result of verifying a [`BlockProof`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockProofCheck {
+    /// The status implied by the proof, if the proof verified.
+    pub status: Option<DealStatus>,
+    /// Total signature verifications performed (the contract pays 3000 gas each).
+    pub sig_verifications: u64,
+}
+
+impl BlockProof {
+    /// Replays the proof: verifies every block's certificate against the
+    /// epoch in force (starting from `initial_validators` and advancing at
+    /// each Reconfigure record whose new set is provided in `epoch_infos`),
+    /// then computes the deal status from the ordered votes.
+    ///
+    /// Returns the implied status and the number of signature verifications
+    /// performed; `status == None` means the proof is invalid.
+    pub fn verify(
+        &self,
+        initial_validators: &ValidatorSetInfo,
+        epoch_infos: &[ValidatorSetInfo],
+        keys: &KeyDirectory,
+    ) -> BlockProofCheck {
+        let mut current = initial_validators.clone();
+        let mut sig_verifications = 0u64;
+        let mut plist: Option<Vec<PartyId>> = None;
+        let mut committed: Vec<PartyId> = Vec::new();
+        let mut status = DealStatus::Active;
+        let mut last_index: Option<u64> = None;
+
+        for block in &self.blocks {
+            // indices must be strictly increasing (log order).
+            if let Some(prev) = last_index {
+                if block.index <= prev {
+                    return BlockProofCheck {
+                        status: None,
+                        sig_verifications,
+                    };
+                }
+            }
+            last_index = Some(block.index);
+
+            let words = CertifiedBlock::certified_words(block.index, &block.record);
+            let check = block.certificate.verify(&current, &words, keys);
+            sig_verifications += check.sig_verifications;
+            if !check.valid {
+                return BlockProofCheck {
+                    status: None,
+                    sig_verifications,
+                };
+            }
+
+            match &block.record {
+                CbcRecord::StartDeal { deal, plist: p } => {
+                    if *deal == self.deal && plist.is_none() && block.record.hash() == self.start_hash
+                    {
+                        plist = Some(p.clone());
+                    }
+                }
+                CbcRecord::CommitVote {
+                    deal,
+                    start_hash,
+                    voter,
+                } if *deal == self.deal && *start_hash == self.start_hash => {
+                    if let Some(pl) = &plist {
+                        if status == DealStatus::Active && pl.contains(voter) {
+                            if !committed.contains(voter) {
+                                committed.push(*voter);
+                            }
+                            if pl.iter().all(|p| committed.contains(p)) {
+                                status = DealStatus::Committed {
+                                    decisive_index: block.index,
+                                };
+                            }
+                        }
+                    }
+                }
+                CbcRecord::AbortVote {
+                    deal, start_hash, ..
+                } if *deal == self.deal && *start_hash == self.start_hash => {
+                    if plist.is_some() && status == DealStatus::Active {
+                        status = DealStatus::Aborted {
+                            decisive_index: block.index,
+                        };
+                    }
+                }
+                CbcRecord::Reconfigure { new_epoch } => {
+                    match epoch_infos.iter().find(|i| i.epoch == *new_epoch) {
+                        Some(next) => current = next.clone(),
+                        None => {
+                            return BlockProofCheck {
+                                status: None,
+                                sig_verifications,
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if plist.is_none() {
+            return BlockProofCheck {
+                status: None,
+                sig_verifications,
+            };
+        }
+        BlockProofCheck {
+            status: Some(status),
+            sig_verifications,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::CbcLog;
+    use xchain_sim::ids::PartyId;
+
+    fn parties(n: u32) -> Vec<PartyId> {
+        (0..n).map(PartyId).collect()
+    }
+
+    fn directory(cbc: &CbcLog) -> KeyDirectory {
+        let mut dir = KeyDirectory::new();
+        // register all epochs' validators
+        for _info in cbc.epoch_infos() {
+            // epoch sets are not public; re-register via current + initial sets
+        }
+        cbc.validators().register_in(&mut dir);
+        dir
+    }
+
+    #[test]
+    fn status_certificate_roundtrip() {
+        let mut cbc = CbcLog::new(2, 9);
+        let (_, h) = cbc
+            .start_deal(Time(0), PartyId(0), DealId(4), parties(3))
+            .unwrap();
+        for p in 0..3 {
+            cbc.vote_commit(Time(p as u64 + 1), DealId(4), h, PartyId(p))
+                .unwrap();
+        }
+        let cert = cbc.status_certificate(Time(5), DealId(4), h).unwrap();
+        assert!(cert.status.is_committed());
+        let dir = directory(&cbc);
+        assert!(cert.verify(&cbc.current_validators(), &dir));
+        assert!(cert.verify(&cbc.initial_validators(), &dir));
+
+        // Tampering with the status breaks verification.
+        let mut forged = cert.clone();
+        forged.status = DealStatus::Aborted { decisive_index: 0 };
+        assert!(!forged.verify(&cbc.current_validators(), &dir));
+    }
+
+    #[test]
+    fn block_proof_commit_and_abort() {
+        let mut cbc = CbcLog::new(1, 9);
+        let (_, h) = cbc
+            .start_deal(Time(0), PartyId(0), DealId(1), parties(2))
+            .unwrap();
+        cbc.vote_commit(Time(1), DealId(1), h, PartyId(0)).unwrap();
+        cbc.vote_commit(Time(2), DealId(1), h, PartyId(1)).unwrap();
+        let proof = cbc.block_proof(DealId(1), h).unwrap();
+        let dir = directory(&cbc);
+        let check = proof.verify(&cbc.initial_validators(), cbc.epoch_infos(), &dir);
+        assert!(matches!(check.status, Some(DealStatus::Committed { .. })));
+        // one certificate of 2f+1 = 3 signatures per block, 3 blocks
+        assert_eq!(check.sig_verifications, 9);
+
+        let mut cbc2 = CbcLog::new(1, 9);
+        let (_, h2) = cbc2
+            .start_deal(Time(0), PartyId(0), DealId(2), parties(2))
+            .unwrap();
+        cbc2.vote_abort(Time(1), DealId(2), h2, PartyId(1)).unwrap();
+        let proof2 = cbc2.block_proof(DealId(2), h2).unwrap();
+        let dir2 = directory(&cbc2);
+        let check2 = proof2.verify(&cbc2.initial_validators(), cbc2.epoch_infos(), &dir2);
+        assert!(matches!(check2.status, Some(DealStatus::Aborted { .. })));
+    }
+
+    #[test]
+    fn block_proof_rejects_reordered_blocks() {
+        let mut cbc = CbcLog::new(1, 9);
+        let (_, h) = cbc
+            .start_deal(Time(0), PartyId(0), DealId(1), parties(2))
+            .unwrap();
+        cbc.vote_commit(Time(1), DealId(1), h, PartyId(0)).unwrap();
+        cbc.vote_commit(Time(2), DealId(1), h, PartyId(1)).unwrap();
+        let mut proof = cbc.block_proof(DealId(1), h).unwrap();
+        proof.blocks.swap(1, 2);
+        let dir = directory(&cbc);
+        let check = proof.verify(&cbc.initial_validators(), cbc.epoch_infos(), &dir);
+        assert_eq!(check.status, None);
+    }
+
+    #[test]
+    fn block_proof_cannot_hide_an_earlier_abort() {
+        // A malicious party cannot simply omit the abort block: the omission
+        // changes nothing about what the contract computes *from the blocks it
+        // is shown*, but the honest counterparty can always present the
+        // genuine (longer) proof; the contract accepts the first valid proof
+        // presented. This test documents the weaker property actually enforced
+        // per-proof: a proof with the abort present yields Aborted.
+        let mut cbc = CbcLog::new(1, 9);
+        let (_, h) = cbc
+            .start_deal(Time(0), PartyId(0), DealId(1), parties(2))
+            .unwrap();
+        cbc.vote_abort(Time(1), DealId(1), h, PartyId(1)).unwrap();
+        cbc.vote_commit(Time(2), DealId(1), h, PartyId(0)).unwrap();
+        cbc.vote_commit(Time(3), DealId(1), h, PartyId(1)).unwrap();
+        let proof = cbc.block_proof(DealId(1), h).unwrap();
+        let dir = directory(&cbc);
+        let check = proof.verify(&cbc.initial_validators(), cbc.epoch_infos(), &dir);
+        assert!(matches!(check.status, Some(DealStatus::Aborted { .. })));
+    }
+
+    #[test]
+    fn status_tags() {
+        assert_eq!(DealStatus::Active.tag(), 0);
+        assert_eq!(DealStatus::Committed { decisive_index: 5 }.tag(), 1);
+        assert_eq!(DealStatus::Aborted { decisive_index: 5 }.tag(), 2);
+        assert!(DealStatus::Committed { decisive_index: 5 }.is_committed());
+        assert!(DealStatus::Aborted { decisive_index: 5 }.is_aborted());
+        assert!(!DealStatus::Active.is_committed());
+    }
+}

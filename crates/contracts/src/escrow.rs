@@ -1,0 +1,500 @@
+//! The generic escrow manager: the paper's Section 4 escrow/transfer semantics.
+//!
+//! Escrow "plays the role of classical concurrency control, ensuring that a
+//! single asset cannot be transferred to different parties at the same time":
+//! the contract itself becomes the asset's owner for the duration of the deal.
+//! The deal's tentative state is captured by two maps:
+//!
+//! * the **A map** (abort): who gets each escrowed asset back if the deal
+//!   aborts — always the original owner;
+//! * the **C map** (commit): who receives each asset if the deal commits —
+//!   initially the original owner, updated by tentative transfers.
+//!
+//! Both commit protocols (timelock and CBC) embed an [`EscrowCore`] and add
+//! their own resolution rules on top.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use xchain_sim::asset::{Asset, AssetBag};
+use xchain_sim::contract::{CallCtx, Contract};
+use xchain_sim::error::ChainResult;
+use xchain_sim::ids::{DealId, PartyId};
+
+/// How an escrow ultimately resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscrowResolution {
+    /// The deal committed here: the C map was paid out.
+    Committed,
+    /// The deal aborted here: the A map (original owners) was refunded.
+    Aborted,
+}
+
+/// One escrow deposit: the A-map entry for an asset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscrowDeposit {
+    /// The party that escrowed the asset (refund target on abort).
+    pub original_owner: PartyId,
+    /// The escrowed asset.
+    pub asset: Asset,
+}
+
+/// The escrow state shared by both commit protocols.
+#[derive(Debug, Clone)]
+pub struct EscrowCore {
+    deal: DealId,
+    plist: Vec<PartyId>,
+    /// A map: deposits, refunded to their original owners on abort.
+    deposits: Vec<EscrowDeposit>,
+    /// C map: what each party receives if the deal commits at this chain.
+    on_commit: BTreeMap<PartyId, AssetBag>,
+    resolution: Option<EscrowResolution>,
+}
+
+impl EscrowCore {
+    /// Creates the escrow state for a deal with the given participant list.
+    pub fn new(deal: DealId, plist: Vec<PartyId>) -> Self {
+        EscrowCore {
+            deal,
+            plist,
+            deposits: Vec::new(),
+            on_commit: BTreeMap::new(),
+            resolution: None,
+        }
+    }
+
+    /// The deal this escrow belongs to.
+    pub fn deal(&self) -> DealId {
+        self.deal
+    }
+
+    /// The participant list.
+    pub fn plist(&self) -> &[PartyId] {
+        &self.plist
+    }
+
+    /// True if `p` participates in the deal.
+    pub fn is_participant(&self, p: PartyId) -> bool {
+        self.plist.contains(&p)
+    }
+
+    /// How the escrow resolved, if it has.
+    pub fn resolution(&self) -> Option<EscrowResolution> {
+        self.resolution
+    }
+
+    /// True if the escrow has neither committed nor aborted yet.
+    pub fn is_active(&self) -> bool {
+        self.resolution.is_none()
+    }
+
+    /// All deposits made so far (the A map).
+    pub fn deposits(&self) -> &[EscrowDeposit] {
+        &self.deposits
+    }
+
+    /// What `party` would receive if the deal committed now (the C map).
+    pub fn on_commit_of(&self, party: PartyId) -> AssetBag {
+        self.on_commit.get(&party).cloned().unwrap_or_default()
+    }
+
+    /// Everything currently held in escrow, summed across deposits.
+    pub fn total_escrowed(&self) -> AssetBag {
+        let mut bag = AssetBag::new();
+        for d in &self.deposits {
+            bag.add(&d.asset);
+        }
+        bag
+    }
+
+    /// Escrow precondition + postcondition of Section 4:
+    /// `Pre: Owns(P, a)` — enforced by the deposit transfer;
+    /// `Post: Owns(D, a) ∧ OwnsC(P, a) ∧ OwnsA(P, a)`.
+    ///
+    /// Gas: 2 storage writes for the deposit transfer plus 1 each for the A
+    /// and C map updates — the 4 writes of Figure 3's `escrow`.
+    pub fn escrow(&mut self, ctx: &mut CallCtx<'_>, asset: Asset) -> ChainResult<()> {
+        let caller = ctx.caller_party()?;
+        ctx.require(self.is_active(), "deal already resolved")?;
+        ctx.require(self.is_participant(caller), "caller not in plist")?;
+        ctx.require(!asset.is_empty(), "cannot escrow an empty asset")?;
+        // Pre: Owns(P, a): the deposit fails if the caller does not own it.
+        ctx.deposit_from_caller(&asset)?;
+        // A map entry (1 write)
+        ctx.charge_storage_write()?;
+        self.deposits.push(EscrowDeposit {
+            original_owner: caller,
+            asset: asset.clone(),
+        });
+        // C map entry (1 write)
+        ctx.charge_storage_write()?;
+        self.on_commit.entry(caller).or_default().add(&asset);
+        ctx.emit("escrow", vec![self.deal.0, caller.0 as u64, asset.magnitude()])?;
+        Ok(())
+    }
+
+    /// Tentative transfer of Section 4:
+    /// `Pre: Owns(D, a) ∧ OwnsC(P, a)`; `Post: OwnsC(Q, a)`.
+    ///
+    /// Gas: 2 storage writes (decrement sender's C entry, increment the
+    /// recipient's — Figure 3 lines 15–16).
+    pub fn transfer(&mut self, ctx: &mut CallCtx<'_>, asset: Asset, to: PartyId) -> ChainResult<()> {
+        let caller = ctx.caller_party()?;
+        ctx.require(self.is_active(), "deal already resolved")?;
+        ctx.require(self.is_participant(caller), "caller not in plist")?;
+        ctx.require(self.is_participant(to), "recipient not in plist")?;
+        let sender_bag = self.on_commit.entry(caller).or_default();
+        ctx.require(
+            sender_bag.contains(&asset),
+            "caller does not tentatively own the asset",
+        )?;
+        ctx.charge_storage_write()?;
+        let removed = self
+            .on_commit
+            .get_mut(&caller)
+            .map(|b| b.remove(&asset))
+            .unwrap_or(false);
+        debug_assert!(removed, "contains() checked above");
+        ctx.charge_storage_write()?;
+        self.on_commit.entry(to).or_default().add(&asset);
+        ctx.emit(
+            "tentative-transfer",
+            vec![self.deal.0, caller.0 as u64, to.0 as u64, asset.magnitude()],
+        )?;
+        Ok(())
+    }
+
+    /// Pays the C map out to its owners and marks the escrow committed.
+    /// Called by the protocol-specific managers once their commit condition
+    /// holds. One storage write records the outcome, plus the payout writes.
+    pub fn distribute_commit(&mut self, ctx: &mut CallCtx<'_>) -> ChainResult<()> {
+        ctx.require(self.is_active(), "deal already resolved")?;
+        ctx.charge_storage_write()?;
+        self.resolution = Some(EscrowResolution::Committed);
+        let recipients: Vec<(PartyId, AssetBag)> = self
+            .on_commit
+            .iter()
+            .map(|(p, b)| (*p, b.clone()))
+            .collect();
+        for (party, bag) in recipients {
+            for (kind, amount) in bag.fungible_holdings() {
+                if amount == 0 {
+                    continue;
+                }
+                let asset = Asset::Fungible {
+                    kind: kind.clone(),
+                    amount,
+                };
+                ctx.pay_out(party.into(), &asset)?;
+            }
+            for (kind, tokens) in bag.non_fungible_holdings() {
+                if tokens.is_empty() {
+                    continue;
+                }
+                let asset = Asset::NonFungible {
+                    kind: kind.clone(),
+                    tokens: tokens.clone(),
+                };
+                ctx.pay_out(party.into(), &asset)?;
+            }
+        }
+        ctx.emit("escrow-committed", vec![self.deal.0])?;
+        Ok(())
+    }
+
+    /// Refunds every deposit to its original owner and marks the escrow
+    /// aborted.
+    pub fn distribute_abort(&mut self, ctx: &mut CallCtx<'_>) -> ChainResult<()> {
+        ctx.require(self.is_active(), "deal already resolved")?;
+        ctx.charge_storage_write()?;
+        self.resolution = Some(EscrowResolution::Aborted);
+        let deposits = self.deposits.clone();
+        for d in deposits {
+            ctx.pay_out(d.original_owner.into(), &d.asset)?;
+        }
+        ctx.emit("escrow-aborted", vec![self.deal.0])?;
+        Ok(())
+    }
+}
+
+/// A bare escrow manager exposing only the Section 4 escrow/transfer
+/// semantics plus explicit commit/abort. It has no commit *protocol* of its
+/// own — the timelock and CBC managers wrap [`EscrowCore`] with one — but it
+/// is useful on its own for unit tests, for the Figure 3 gas measurements and
+/// as the building block of the swap baseline.
+#[derive(Debug, Clone)]
+pub struct EscrowManager {
+    core: EscrowCore,
+}
+
+impl EscrowManager {
+    /// Creates an escrow manager for a deal.
+    pub fn new(deal: DealId, plist: Vec<PartyId>) -> Self {
+        EscrowManager {
+            core: EscrowCore::new(deal, plist),
+        }
+    }
+
+    /// Read access to the shared escrow state.
+    pub fn core(&self) -> &EscrowCore {
+        &self.core
+    }
+
+    /// Escrows an asset (see [`EscrowCore::escrow`]).
+    pub fn escrow(&mut self, ctx: &mut CallCtx<'_>, asset: Asset) -> ChainResult<()> {
+        self.core.escrow(ctx, asset)
+    }
+
+    /// Tentatively transfers an escrowed asset (see [`EscrowCore::transfer`]).
+    pub fn transfer(&mut self, ctx: &mut CallCtx<'_>, asset: Asset, to: PartyId) -> ChainResult<()> {
+        self.core.transfer(ctx, asset, to)
+    }
+
+    /// Commits unconditionally (test/measurement hook).
+    pub fn force_commit(&mut self, ctx: &mut CallCtx<'_>) -> ChainResult<()> {
+        self.core.distribute_commit(ctx)
+    }
+
+    /// Aborts unconditionally (test/measurement hook).
+    pub fn force_abort(&mut self, ctx: &mut CallCtx<'_>) -> ChainResult<()> {
+        self.core.distribute_abort(ctx)
+    }
+}
+
+impl Contract for EscrowManager {
+    fn type_name(&self) -> &'static str {
+        "escrow-manager"
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xchain_sim::error::ChainError;
+    use xchain_sim::ids::{ChainId, Owner};
+    use xchain_sim::ledger::Blockchain;
+    use xchain_sim::time::{Duration, Time};
+
+    fn setup() -> (Blockchain, xchain_sim::ids::ContractId, PartyId, PartyId, PartyId) {
+        let mut chain = Blockchain::new(ChainId(0), "tickets", Duration(1));
+        let bob = PartyId(1);
+        let alice = PartyId(0);
+        let carol = PartyId(2);
+        chain
+            .mint(Owner::Party(bob), &Asset::non_fungible("ticket", [1, 2]))
+            .unwrap();
+        chain
+            .mint(Owner::Party(carol), &Asset::fungible("coin", 101))
+            .unwrap();
+        let id = chain.install(EscrowManager::new(DealId(7), vec![alice, bob, carol]));
+        (chain, id, alice, bob, carol)
+    }
+
+    #[test]
+    fn escrow_requires_ownership_and_membership() {
+        let (mut chain, id, _alice, bob, _carol) = setup();
+        // Bob escrows his tickets: ok.
+        chain
+            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.escrow(ctx, Asset::non_fungible("ticket", [1, 2]))
+            })
+            .unwrap();
+        // Escrow contract now owns the tickets.
+        assert!(chain
+            .assets()
+            .holds(Owner::Contract(id), &Asset::non_fungible("ticket", [1, 2])));
+        // A stranger cannot escrow.
+        let err = chain
+            .call(Time(0), Owner::Party(PartyId(9)), id, |m: &mut EscrowManager, ctx| {
+                m.escrow(ctx, Asset::fungible("coin", 1))
+            })
+            .unwrap_err();
+        assert!(matches!(err, ChainError::Require(_)));
+        // Bob cannot escrow tickets he no longer owns.
+        let err = chain
+            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.escrow(ctx, Asset::non_fungible("ticket", [1]))
+            })
+            .unwrap_err();
+        assert!(matches!(err, ChainError::NotTokenOwner { .. }));
+    }
+
+    #[test]
+    fn escrow_costs_four_writes_and_transfer_two() {
+        // Figure 3: escrow = 4 storage writes, tentative transfer = 2.
+        let (mut chain, id, alice, bob, _carol) = setup();
+        let before = chain.gas_usage();
+        chain
+            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.escrow(ctx, Asset::non_fungible("ticket", [1, 2]))
+            })
+            .unwrap();
+        let after_escrow = chain.gas_usage();
+        assert_eq!(before.delta_to(&after_escrow).storage_writes, 4);
+
+        chain
+            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), alice)
+            })
+            .unwrap();
+        let after_transfer = chain.gas_usage();
+        assert_eq!(after_escrow.delta_to(&after_transfer).storage_writes, 2);
+    }
+
+    #[test]
+    fn tentative_transfers_update_c_map_only() {
+        let (mut chain, id, alice, bob, carol) = setup();
+        chain
+            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.escrow(ctx, Asset::non_fungible("ticket", [1, 2]))
+            })
+            .unwrap();
+        chain
+            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), alice)
+            })
+            .unwrap();
+        chain
+            .call(Time(0), Owner::Party(alice), id, |m: &mut EscrowManager, ctx| {
+                m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), carol)
+            })
+            .unwrap();
+        let (bob_c, carol_c) = chain
+            .view(id, |m: &EscrowManager| {
+                (m.core().on_commit_of(bob), m.core().on_commit_of(carol))
+            })
+            .unwrap();
+        assert!(bob_c.is_empty());
+        assert!(carol_c.contains(&Asset::non_fungible("ticket", [1, 2])));
+        // The chain-level owner is still the contract until resolution.
+        assert!(chain
+            .assets()
+            .holds(Owner::Contract(id), &Asset::non_fungible("ticket", [1, 2])));
+    }
+
+    #[test]
+    fn cannot_transfer_what_you_do_not_tentatively_own() {
+        let (mut chain, id, alice, bob, carol) = setup();
+        chain
+            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
+                m.escrow(ctx, Asset::fungible("coin", 101))
+            })
+            .unwrap();
+        // Bob has escrowed nothing here; he cannot move Carol's coins.
+        let err = chain
+            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.transfer(ctx, Asset::fungible("coin", 50), alice)
+            })
+            .unwrap_err();
+        assert!(matches!(err, ChainError::Require(_)));
+        // Carol cannot over-transfer either.
+        let err = chain
+            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
+                m.transfer(ctx, Asset::fungible("coin", 102), alice)
+            })
+            .unwrap_err();
+        assert!(matches!(err, ChainError::Require(_)));
+    }
+
+    #[test]
+    fn commit_pays_c_map_and_abort_refunds_a_map() {
+        // Commit path.
+        let (mut chain, id, alice, bob, carol) = setup();
+        chain
+            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
+                m.escrow(ctx, Asset::fungible("coin", 101))
+            })
+            .unwrap();
+        chain
+            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
+                m.transfer(ctx, Asset::fungible("coin", 101), alice)
+            })
+            .unwrap();
+        chain
+            .call(Time(0), Owner::Party(alice), id, |m: &mut EscrowManager, ctx| {
+                m.transfer(ctx, Asset::fungible("coin", 100), bob)
+            })
+            .unwrap();
+        chain
+            .call(Time(1), Owner::Party(alice), id, |m: &mut EscrowManager, ctx| {
+                m.force_commit(ctx)
+            })
+            .unwrap();
+        assert_eq!(chain.assets().balance(Owner::Party(bob), &"coin".into()), 100);
+        assert_eq!(chain.assets().balance(Owner::Party(alice), &"coin".into()), 1);
+        assert_eq!(chain.assets().balance(Owner::Party(carol), &"coin".into()), 0);
+
+        // Abort path on a fresh chain.
+        let (mut chain, id, alice, _bob, carol) = setup();
+        chain
+            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
+                m.escrow(ctx, Asset::fungible("coin", 101))
+            })
+            .unwrap();
+        chain
+            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
+                m.transfer(ctx, Asset::fungible("coin", 101), alice)
+            })
+            .unwrap();
+        chain
+            .call(Time(1), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
+                m.force_abort(ctx)
+            })
+            .unwrap();
+        // Despite the tentative transfer, the abort refunds the original owner.
+        assert_eq!(chain.assets().balance(Owner::Party(carol), &"coin".into()), 101);
+        assert_eq!(chain.assets().balance(Owner::Party(alice), &"coin".into()), 0);
+    }
+
+    #[test]
+    fn resolution_is_terminal() {
+        let (mut chain, id, _alice, bob, _carol) = setup();
+        chain
+            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.escrow(ctx, Asset::non_fungible("ticket", [1]))
+            })
+            .unwrap();
+        chain
+            .call(Time(1), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.force_abort(ctx)
+            })
+            .unwrap();
+        // No further escrow, transfer, or second resolution.
+        for result in [
+            chain.call(Time(2), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.escrow(ctx, Asset::non_fungible("ticket", [2]))
+            }),
+            chain.call(Time(2), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.force_commit(ctx)
+            }),
+            chain.call(Time(2), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.force_abort(ctx)
+            }),
+        ] {
+            assert!(matches!(result, Err(ChainError::Require(_))));
+        }
+        assert_eq!(
+            chain
+                .view(id, |m: &EscrowManager| m.core().resolution())
+                .unwrap(),
+            Some(EscrowResolution::Aborted)
+        );
+    }
+
+    #[test]
+    fn empty_escrow_rejected() {
+        let (mut chain, id, _alice, bob, _carol) = setup();
+        let err = chain
+            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
+                m.escrow(ctx, Asset::fungible("coin", 0))
+            })
+            .unwrap_err();
+        assert!(matches!(err, ChainError::Require(_)));
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for deal specification and protocol execution.
+
+use std::fmt;
+
+use xchain_bft::log::CbcError;
+use xchain_sim::error::ChainError;
+
+/// Errors raised while specifying or executing a cross-chain deal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DealError {
+    /// The deal specification is malformed (empty plist, unknown parties,
+    /// unorderable transfers, …).
+    InvalidSpec(String),
+    /// The deal digraph is not strongly connected (free riders present).
+    NotWellFormed,
+    /// An underlying chain/contract operation failed in a way the protocol
+    /// engine could not tolerate.
+    Chain(ChainError),
+    /// A CBC operation failed in a way the protocol engine could not tolerate.
+    Cbc(CbcError),
+    /// The engine was configured inconsistently (e.g. missing party config).
+    Config(String),
+}
+
+impl fmt::Display for DealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DealError::InvalidSpec(msg) => write!(f, "invalid deal specification: {msg}"),
+            DealError::NotWellFormed => write!(f, "deal digraph is not strongly connected"),
+            DealError::Chain(e) => write!(f, "chain error: {e}"),
+            DealError::Cbc(e) => write!(f, "CBC error: {e}"),
+            DealError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DealError {}
+
+impl From<ChainError> for DealError {
+    fn from(e: ChainError) -> Self {
+        DealError::Chain(e)
+    }
+}
+
+impl From<CbcError> for DealError {
+    fn from(e: CbcError) -> Self {
+        DealError::Cbc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: DealError = ChainError::BadSignature.into();
+        assert!(e.to_string().contains("chain error"));
+        let e: DealError = CbcError::QuorumUnavailable.into();
+        assert!(e.to_string().contains("CBC"));
+        assert!(DealError::NotWellFormed.to_string().contains("strongly connected"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # xchain-deals
+//!
+//! A from-scratch Rust implementation of **cross-chain deals**, the
+//! computational abstraction proposed in *Cross-chain Deals and Adversarial
+//! Commerce* (Herlihy, Liskov, Shrira, VLDB 2019), together with the paper's
+//! two commit protocols and its safety/liveness properties.
+//!
+//! A deal is specified as a transfer matrix ([`spec::DealSpec`], Figure 1),
+//! analysed as a digraph ([`digraph`], Figure 2), and executed in five phases
+//! (clearing, escrow, transfer, validation, commit) over simulated
+//! blockchains. Two protocol engines are provided:
+//!
+//! * [`timelock::run_timelock`] — the fully decentralized timelock commit
+//!   protocol for synchronous networks (Section 5), with path-signature votes
+//!   and `|p| · ∆` timeouts;
+//! * [`cbc::run_cbc`] — the certified-blockchain commit protocol for
+//!   eventually-synchronous networks (Section 6), with validator-certified
+//!   proofs of commit and abort.
+//!
+//! Party behaviour — compliant or deviating in a dozen ways — is configured
+//! with [`party::PartyConfig`], and the paper's Properties 1–3 are executable
+//! checks in [`properties`].
+//!
+//! ```
+//! use xchain_deals::builders::broker_spec;
+//! use xchain_deals::setup::world_for_spec;
+//! use xchain_deals::timelock::{run_timelock, TimelockOptions};
+//! use xchain_deals::properties::check_safety;
+//! use xchain_sim::network::NetworkModel;
+//!
+//! let spec = broker_spec();
+//! let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), 42).unwrap();
+//! let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
+//! assert!(run.outcome.committed_everywhere());
+//! assert!(check_safety(&spec, &[], &run.outcome).holds());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builders;
+pub mod cbc;
+pub mod digraph;
+pub mod error;
+pub mod outcome;
+pub mod party;
+pub mod phases;
+pub mod properties;
+pub mod setup;
+pub mod spec;
+pub mod timelock;
+pub mod validation;
+
+pub use cbc::{run_cbc, CbcOptions, CbcRun};
+pub use digraph::{is_well_formed, DealDigraph};
+pub use error::DealError;
+pub use outcome::{ChainResolution, DealOutcome, ProtocolKind};
+pub use party::{config_of, Deviation, PartyConfig};
+pub use phases::{Phase, PhaseMetrics};
+pub use properties::{check_conservation, check_safety, check_strong_liveness, check_weak_liveness, SafetyReport};
+pub use spec::{DealSpec, EscrowSpec, TransferSpec};
+pub use timelock::{run_timelock, TimelockOptions, TimelockRun};

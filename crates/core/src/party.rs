@@ -1,0 +1,207 @@
+//! Party behaviours: compliant and deviating strategies.
+//!
+//! The paper classifies parties only as *compliant* (they follow the protocol)
+//! or *deviating* (they do not, whether rationally or not), and deliberately
+//! makes no assumption about how many parties deviate. Deviation strategies
+//! here cover the failure and attack modes the paper discusses: crashing or
+//! walking away at any phase, refusing to escrow or transfer, withholding or
+//! never forwarding votes, voting abort, claiming dissatisfaction at
+//! validation, and being driven offline during the commit window.
+
+use serde::{Deserialize, Serialize};
+use xchain_sim::ids::PartyId;
+use xchain_sim::time::Time;
+
+use crate::phases::Phase;
+
+/// How a party deviates from the protocol, if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Deviation {
+    /// Follows the protocol exactly.
+    None,
+    /// Stops participating entirely after completing the given phase
+    /// (crash / walk-away).
+    CrashAfter(Phase),
+    /// Never escrows its outgoing assets (joins the deal, then reneges).
+    RefuseEscrow,
+    /// Escrows but never performs its tentative transfers.
+    SkipTransfers,
+    /// Performs every phase but never sends a commit vote.
+    WithholdVote,
+    /// Timelock only: sends its own commit votes but never forwards other
+    /// parties' votes (free-rides on the forwarding work of others).
+    NeverForward,
+    /// CBC only: votes to abort during the commit phase even though
+    /// validation succeeded.
+    VoteAbort,
+    /// Declares its incoming assets unsatisfactory during validation and
+    /// therefore never votes to commit.
+    RejectValidation,
+    /// Is offline (crashed or under denial of service) during `[from, until)`;
+    /// otherwise behaves like a compliant party. Going offline at the wrong
+    /// moment is a deviation: the paper notes such parties can miss the
+    /// window in which they must claim assets or forward votes.
+    OfflineDuring {
+        /// Start of the outage.
+        from: Time,
+        /// End of the outage (exclusive).
+        until: Time,
+    },
+}
+
+/// The behaviour configuration of one party in a deal execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartyConfig {
+    /// The party.
+    pub id: PartyId,
+    /// Its deviation, if any.
+    pub deviation: Deviation,
+}
+
+impl PartyConfig {
+    /// A compliant party.
+    pub fn compliant(id: PartyId) -> Self {
+        PartyConfig {
+            id,
+            deviation: Deviation::None,
+        }
+    }
+
+    /// A deviating party with the given strategy.
+    pub fn deviating(id: PartyId, deviation: Deviation) -> Self {
+        PartyConfig { id, deviation }
+    }
+
+    /// True if the party follows the protocol exactly. Parties that go
+    /// offline during the run are classified as deviating, matching the
+    /// paper's treatment of parties that fail to act in time.
+    pub fn is_compliant(&self) -> bool {
+        matches!(self.deviation, Deviation::None)
+    }
+
+    /// True if this party still acts during `phase` (it has not crashed or
+    /// walked away before it).
+    pub fn participates_in(&self, phase: Phase) -> bool {
+        match self.deviation {
+            Deviation::CrashAfter(last) => phase <= last,
+            _ => true,
+        }
+    }
+
+    /// True if the party escrows its outgoing assets.
+    pub fn will_escrow(&self) -> bool {
+        !matches!(self.deviation, Deviation::RefuseEscrow)
+            && self.participates_in(Phase::Escrow)
+    }
+
+    /// True if the party performs its tentative transfers.
+    pub fn will_transfer(&self) -> bool {
+        !matches!(self.deviation, Deviation::RefuseEscrow | Deviation::SkipTransfers)
+            && self.participates_in(Phase::Transfer)
+    }
+
+    /// True if the party votes to commit (assuming validation succeeded).
+    pub fn will_vote_commit(&self) -> bool {
+        !matches!(
+            self.deviation,
+            Deviation::RefuseEscrow
+                | Deviation::SkipTransfers
+                | Deviation::WithholdVote
+                | Deviation::VoteAbort
+                | Deviation::RejectValidation
+        ) && self.participates_in(Phase::Commit)
+    }
+
+    /// True if the party forwards other parties' votes (timelock protocol).
+    pub fn will_forward_votes(&self) -> bool {
+        self.will_vote_commit() && !matches!(self.deviation, Deviation::NeverForward)
+    }
+
+    /// True if the party votes abort on the CBC during the commit phase.
+    pub fn votes_abort(&self) -> bool {
+        matches!(self.deviation, Deviation::VoteAbort | Deviation::RejectValidation)
+            && self.participates_in(Phase::Commit)
+    }
+
+    /// The offline window, if this party has one.
+    pub fn offline_window(&self) -> Option<(Time, Time)> {
+        match self.deviation {
+            Deviation::OfflineDuring { from, until } => Some((from, until)),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a party's configuration, defaulting to compliant when absent.
+pub fn config_of(configs: &[PartyConfig], id: PartyId) -> PartyConfig {
+    configs
+        .iter()
+        .find(|c| c.id == id)
+        .copied()
+        .unwrap_or_else(|| PartyConfig::compliant(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compliant_party_does_everything() {
+        let c = PartyConfig::compliant(PartyId(0));
+        assert!(c.is_compliant());
+        assert!(c.will_escrow());
+        assert!(c.will_transfer());
+        assert!(c.will_vote_commit());
+        assert!(c.will_forward_votes());
+        assert!(!c.votes_abort());
+        assert_eq!(c.offline_window(), None);
+    }
+
+    #[test]
+    fn crash_after_phase_stops_later_phases() {
+        let c = PartyConfig::deviating(PartyId(1), Deviation::CrashAfter(Phase::Escrow));
+        assert!(!c.is_compliant());
+        assert!(c.will_escrow());
+        assert!(!c.will_transfer());
+        assert!(!c.will_vote_commit());
+        let c = PartyConfig::deviating(PartyId(1), Deviation::CrashAfter(Phase::Validation));
+        assert!(c.will_escrow());
+        assert!(c.will_transfer());
+        assert!(!c.will_vote_commit());
+    }
+
+    #[test]
+    fn vote_strategies() {
+        assert!(!PartyConfig::deviating(PartyId(0), Deviation::WithholdVote).will_vote_commit());
+        let abort = PartyConfig::deviating(PartyId(0), Deviation::VoteAbort);
+        assert!(!abort.will_vote_commit());
+        assert!(abort.votes_abort());
+        let nf = PartyConfig::deviating(PartyId(0), Deviation::NeverForward);
+        assert!(nf.will_vote_commit());
+        assert!(!nf.will_forward_votes());
+        assert!(!PartyConfig::deviating(PartyId(0), Deviation::RefuseEscrow).will_escrow());
+        assert!(!PartyConfig::deviating(PartyId(0), Deviation::SkipTransfers).will_transfer());
+    }
+
+    #[test]
+    fn offline_window_reported() {
+        let c = PartyConfig::deviating(
+            PartyId(0),
+            Deviation::OfflineDuring {
+                from: Time(5),
+                until: Time(10),
+            },
+        );
+        assert!(!c.is_compliant());
+        assert_eq!(c.offline_window(), Some((Time(5), Time(10))));
+        // It still intends to act in every phase (when online).
+        assert!(c.will_vote_commit());
+    }
+
+    #[test]
+    fn config_lookup_defaults_to_compliant() {
+        let configs = vec![PartyConfig::deviating(PartyId(1), Deviation::WithholdVote)];
+        assert!(config_of(&configs, PartyId(0)).is_compliant());
+        assert!(!config_of(&configs, PartyId(1)).is_compliant());
+    }
+}

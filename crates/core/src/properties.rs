@@ -1,0 +1,385 @@
+//! The paper's correctness properties, as executable checks over measured
+//! deal outcomes.
+//!
+//! * **Property 1 (safety)**: for every compliant party X, if any of X's
+//!   outgoing assets is transferred then all of X's incoming assets are
+//!   transferred; and if any of X's incoming assets is not transferred then
+//!   none of X's outgoing assets is transferred. We additionally check that a
+//!   compliant party never relinquishes more than its agreed outgoing assets.
+//! * **Property 2 (weak liveness)**: no asset belonging to a compliant party
+//!   is locked up forever (every escrow holding a compliant party's deposit
+//!   eventually resolves).
+//! * **Property 3 (strong liveness)**: if all parties are compliant, all
+//!   transfers happen.
+
+use xchain_sim::asset::{Asset, AssetBag};
+use xchain_sim::ids::PartyId;
+
+use crate::outcome::{ChainResolution, DealOutcome};
+use crate::party::{config_of, PartyConfig};
+use crate::spec::DealSpec;
+
+/// A violation of the safety property for one party.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyViolation {
+    /// The compliant party that ended up worse off.
+    pub party: PartyId,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+/// The result of checking Property 1 over an outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SafetyReport {
+    /// All violations found (empty means the property holds).
+    pub violations: Vec<SafetyViolation>,
+}
+
+impl SafetyReport {
+    /// True if no compliant party was harmed.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Everything in `a` that is not covered by `b` (component-wise saturating
+/// difference over fungible balances and token sets).
+pub fn bag_minus(a: &AssetBag, b: &AssetBag) -> AssetBag {
+    let mut out = AssetBag::new();
+    for (kind, amount) in a.fungible_holdings() {
+        let other = b.balance(kind);
+        if amount > other {
+            out.add(&Asset::Fungible {
+                kind: kind.clone(),
+                amount: amount - other,
+            });
+        }
+    }
+    for (kind, tokens) in a.non_fungible_holdings() {
+        let other = b.tokens(kind);
+        let missing: std::collections::BTreeSet<_> =
+            tokens.difference(&other).copied().collect();
+        if !missing.is_empty() {
+            out.add(&Asset::NonFungible {
+                kind: kind.clone(),
+                tokens: missing,
+            });
+        }
+    }
+    out
+}
+
+/// Checks Property 1 (safety) for every compliant party.
+pub fn check_safety(
+    spec: &DealSpec,
+    configs: &[PartyConfig],
+    outcome: &DealOutcome,
+) -> SafetyReport {
+    let mut report = SafetyReport::default();
+    for &p in &spec.parties {
+        if !config_of(configs, p).is_compliant() {
+            continue;
+        }
+        let initial = outcome.initial_of(p);
+        let fin = outcome.final_of(p);
+        let lost = bag_minus(&initial, &fin);
+        let expected_in = spec.incoming_of(p);
+        let expected_out = spec.outgoing_of(p);
+
+        // If any outgoing asset was transferred, all incoming assets must have
+        // been transferred too. In holdings terms: a party that lost anything
+        // must end up at least at the "full deal" floor
+        // `(initial + incoming) - outgoing` (incoming may fund outgoing, so the
+        // two are netted — Alice pays Bob out of Carol's coins).
+        let paid_something = !lost.is_empty();
+        if paid_something {
+            let mut with_incoming = initial.clone();
+            for (kind, amount) in expected_in.fungible_holdings() {
+                with_incoming.add(&Asset::Fungible {
+                    kind: kind.clone(),
+                    amount,
+                });
+            }
+            for (kind, tokens) in expected_in.non_fungible_holdings() {
+                with_incoming.add(&Asset::NonFungible {
+                    kind: kind.clone(),
+                    tokens: tokens.clone(),
+                });
+            }
+            let floor = bag_minus(&with_incoming, &expected_out);
+            if !fin.covers(&floor) {
+                report.violations.push(SafetyViolation {
+                    party: p,
+                    detail: format!(
+                        "paid {lost} but ended with {fin}, below the full-deal floor {floor}"
+                    ),
+                });
+            }
+        }
+        if !expected_out.covers(&lost) {
+            report.violations.push(SafetyViolation {
+                party: p,
+                detail: format!(
+                    "relinquished {lost}, more than the agreed outgoing assets {expected_out}"
+                ),
+            });
+        }
+    }
+    report
+}
+
+/// Checks Property 2 (weak liveness): every chain where a compliant party
+/// escrowed assets must have resolved (committed or aborted) by the end of
+/// the run.
+pub fn check_weak_liveness(
+    spec: &DealSpec,
+    configs: &[PartyConfig],
+    outcome: &DealOutcome,
+) -> bool {
+    for e in &spec.escrows {
+        if !config_of(configs, e.owner).is_compliant() {
+            continue;
+        }
+        match outcome.resolutions.get(&e.chain) {
+            Some(ChainResolution::Unresolved) | None => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Checks Property 3 (strong liveness): meaningful only when every party is
+/// compliant; in that case every party must end up with exactly
+/// `initial - outgoing + incoming`.
+pub fn check_strong_liveness(
+    spec: &DealSpec,
+    configs: &[PartyConfig],
+    outcome: &DealOutcome,
+) -> bool {
+    let all_compliant = spec
+        .parties
+        .iter()
+        .all(|p| config_of(configs, *p).is_compliant());
+    if !all_compliant {
+        return true; // vacuously true; the property only constrains all-compliant runs
+    }
+    for &p in &spec.parties {
+        let initial = outcome.initial_of(p);
+        let fin = outcome.final_of(p);
+        let expected_in = spec.incoming_of(p);
+        let expected_out = spec.outgoing_of(p);
+        // expected final = (initial + incoming) - outgoing: incoming assets
+        // may fund outgoing ones (Alice pays Bob out of Carol's coins), so
+        // they are added before the outgoing assets are subtracted.
+        let mut with_incoming = initial.clone();
+        for (kind, amount) in expected_in.fungible_holdings() {
+            with_incoming.add(&Asset::Fungible {
+                kind: kind.clone(),
+                amount,
+            });
+        }
+        for (kind, tokens) in expected_in.non_fungible_holdings() {
+            with_incoming.add(&Asset::NonFungible {
+                kind: kind.clone(),
+                tokens: tokens.clone(),
+            });
+        }
+        let expected = bag_minus(&with_incoming, &expected_out);
+        if !(fin.covers(&expected) && expected.covers(&fin)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Conservation check used by the property-based tests: the union of all
+/// parties' holdings (plus anything still stuck in escrow) never changes in
+/// total fungible supply per kind. Returns true if supply is conserved
+/// between the initial and final snapshots for every kind mentioned in the
+/// deal. Note that assets still held by an unresolved escrow contract are not
+/// in any party's hands, so conservation is only required when the outcome is
+/// fully resolved.
+pub fn check_conservation(spec: &DealSpec, outcome: &DealOutcome) -> bool {
+    if !outcome.fully_resolved() {
+        return true;
+    }
+    let mut kinds: Vec<_> = Vec::new();
+    for e in &spec.escrows {
+        let k = e.asset.kind().clone();
+        if !kinds.contains(&k) {
+            kinds.push(k);
+        }
+    }
+    for kind in kinds {
+        let initial: u64 = spec
+            .parties
+            .iter()
+            .map(|p| outcome.initial_of(*p).balance(&kind))
+            .sum();
+        let fin: u64 = spec
+            .parties
+            .iter()
+            .map(|p| outcome.final_of(*p).balance(&kind))
+            .sum();
+        if initial != fin {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::broker_spec;
+    use crate::outcome::ProtocolKind;
+    use crate::party::Deviation;
+    use crate::phases::PhaseMetrics;
+    use xchain_sim::ids::ChainId;
+    use xchain_sim::time::Duration;
+
+    fn outcome_with(
+        initial: Vec<(PartyId, AssetBag)>,
+        fin: Vec<(PartyId, AssetBag)>,
+        resolutions: Vec<(ChainId, ChainResolution)>,
+    ) -> DealOutcome {
+        DealOutcome {
+            protocol: ProtocolKind::Timelock,
+            initial_holdings: initial.into_iter().collect(),
+            final_holdings: fin.into_iter().collect(),
+            resolutions: resolutions.into_iter().collect(),
+            metrics: PhaseMetrics::new(),
+            delta: Duration(100),
+        }
+    }
+
+    fn bag(coins: u64, tickets: &[u64]) -> AssetBag {
+        let mut b = AssetBag::new();
+        if coins > 0 {
+            b.add(&Asset::fungible("coin", coins));
+        }
+        if !tickets.is_empty() {
+            b.add(&Asset::non_fungible("ticket", tickets.iter().copied()));
+        }
+        b
+    }
+
+    #[test]
+    fn bag_minus_computes_losses_and_gains() {
+        let a = bag(100, &[1, 2]);
+        let b = bag(40, &[2]);
+        let diff = bag_minus(&a, &b);
+        assert_eq!(diff.balance(&"coin".into()), 60);
+        assert!(diff.contains(&Asset::non_fungible("ticket", [1])));
+        assert!(!diff.contains(&Asset::non_fungible("ticket", [2])));
+        assert!(bag_minus(&b, &b).is_empty());
+    }
+
+    #[test]
+    fn all_or_nothing_outcomes_are_safe() {
+        let spec = broker_spec();
+        let alice = PartyId(0);
+        let bob = PartyId(1);
+        let carol = PartyId(2);
+        // "All" outcome.
+        let all = outcome_with(
+            vec![(alice, bag(0, &[])), (bob, bag(0, &[1, 2])), (carol, bag(101, &[]))],
+            vec![(alice, bag(1, &[])), (bob, bag(100, &[])), (carol, bag(0, &[1, 2]))],
+            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Committed)],
+        );
+        assert!(check_safety(&spec, &[], &all).holds());
+        assert!(check_strong_liveness(&spec, &[], &all));
+        assert!(check_conservation(&spec, &all));
+        // "Nothing" outcome.
+        let nothing = outcome_with(
+            vec![(alice, bag(0, &[])), (bob, bag(0, &[1, 2])), (carol, bag(101, &[]))],
+            vec![(alice, bag(0, &[])), (bob, bag(0, &[1, 2])), (carol, bag(101, &[]))],
+            vec![(ChainId(0), ChainResolution::Aborted), (ChainId(1), ChainResolution::Aborted)],
+        );
+        assert!(check_safety(&spec, &[], &nothing).holds());
+        assert!(!check_strong_liveness(&spec, &[], &nothing));
+        assert!(check_weak_liveness(&spec, &[], &nothing));
+    }
+
+    #[test]
+    fn losing_assets_without_receiving_violates_safety() {
+        let spec = broker_spec();
+        let bob = PartyId(1);
+        // Bob loses his tickets and receives nothing.
+        let bad = outcome_with(
+            vec![(bob, bag(0, &[1, 2]))],
+            vec![(bob, bag(0, &[]))],
+            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Aborted)],
+        );
+        let report = check_safety(&spec, &[], &bad);
+        assert!(!report.holds());
+        assert_eq!(report.violations[0].party, bob);
+    }
+
+    #[test]
+    fn deviating_parties_are_not_protected() {
+        let spec = broker_spec();
+        let bob = PartyId(1);
+        let configs = vec![PartyConfig::deviating(bob, Deviation::WithholdVote)];
+        let bad = outcome_with(
+            vec![(bob, bag(0, &[1, 2]))],
+            vec![(bob, bag(0, &[]))],
+            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Aborted)],
+        );
+        assert!(check_safety(&spec, &configs, &bad).holds());
+    }
+
+    #[test]
+    fn receiving_extra_from_deviating_parties_is_allowed() {
+        let spec = broker_spec();
+        let carol = PartyId(2);
+        // Carol pays nothing (coins refunded) yet receives the tickets: the
+        // paper explicitly allows this windfall outcome.
+        let windfall = outcome_with(
+            vec![(carol, bag(101, &[]))],
+            vec![(carol, bag(101, &[1, 2]))],
+            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Aborted)],
+        );
+        assert!(check_safety(&spec, &[], &windfall).holds());
+    }
+
+    #[test]
+    fn paying_more_than_agreed_violates_safety() {
+        let spec = broker_spec();
+        let carol = PartyId(2);
+        let bad = outcome_with(
+            vec![(carol, bag(150, &[]))],
+            vec![(carol, bag(0, &[1, 2]))], // lost 150 coins, agreed only 101
+            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Committed)],
+        );
+        assert!(!check_safety(&spec, &[], &bad).holds());
+    }
+
+    #[test]
+    fn weak_liveness_ignores_deviating_escrowers() {
+        let spec = broker_spec();
+        let bob = PartyId(1);
+        let configs = vec![PartyConfig::deviating(bob, Deviation::WithholdVote)];
+        // The ticket chain never resolves, but only Bob (deviating) escrowed there.
+        let outcome = outcome_with(
+            vec![],
+            vec![],
+            vec![(ChainId(0), ChainResolution::Unresolved), (ChainId(1), ChainResolution::Aborted)],
+        );
+        assert!(check_weak_liveness(&spec, &configs, &outcome));
+        // If Bob were compliant it would be a violation.
+        assert!(!check_weak_liveness(&spec, &[], &outcome));
+    }
+
+    #[test]
+    fn conservation_detects_created_coins() {
+        let spec = broker_spec();
+        let carol = PartyId(2);
+        let bad = outcome_with(
+            vec![(carol, bag(101, &[]))],
+            vec![(carol, bag(300, &[]))],
+            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Committed)],
+        );
+        assert!(!check_conservation(&spec, &bad));
+    }
+}

@@ -1,0 +1,485 @@
+//! The timelock commit protocol engine (Section 5).
+//!
+//! This module drives a complete deal execution over the simulated world:
+//! clearing, escrow, tentative transfers, validation, and the vote /
+//! vote-forwarding commit phase with path-signature timeouts. Party behaviour
+//! is controlled by [`PartyConfig`] strategies, so both the all-compliant
+//! executions of Theorem 5.3 and the adversarial executions of Theorem 5.1
+//! are produced by the same engine.
+
+use std::collections::BTreeMap;
+
+use xchain_contracts::timelock::{TimelockDealInfo, TimelockManager};
+use xchain_sim::asset::AssetBag;
+use xchain_sim::crypto::PathSignature;
+use xchain_sim::gas::GasUsage;
+use xchain_sim::ids::{ChainId, ContractId, Owner, PartyId};
+use xchain_sim::time::{Duration, Time};
+use xchain_sim::world::World;
+
+use crate::error::DealError;
+use crate::outcome::{ChainResolution, DealOutcome, ProtocolKind};
+use crate::party::{config_of, PartyConfig};
+use crate::phases::{Phase, PhaseMetrics};
+use crate::spec::DealSpec;
+use crate::{setup, validation};
+
+/// Tunable options for the timelock protocol engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelockOptions {
+    /// The synchrony bound ∆ used for all timeouts.
+    pub delta: Duration,
+    /// If true, parties altruistically send their commit votes to every
+    /// escrow contract instead of only their incoming-asset chains; the
+    /// commit phase then completes in O(1)·∆ instead of O(n)·∆ (Section 7.2).
+    pub altruistic_broadcast: bool,
+    /// If true, independent tentative transfers are submitted concurrently
+    /// (transfer phase ≈ ∆); otherwise they are performed sequentially
+    /// (transfer phase ≈ t·∆), matching the two columns of Figure 7.
+    pub concurrent_transfers: bool,
+}
+
+impl Default for TimelockOptions {
+    fn default() -> Self {
+        TimelockOptions {
+            delta: Duration(100),
+            altruistic_broadcast: false,
+            concurrent_transfers: false,
+        }
+    }
+}
+
+/// A commit vote visible on some chain, tracked engine-side so other parties
+/// can observe and forward it.
+#[derive(Debug, Clone)]
+struct PublishedVote {
+    chain: ChainId,
+    voter: PartyId,
+    path: PathSignature,
+    published_at: Time,
+}
+
+/// The result of a timelock deal execution: the measured outcome plus the
+/// per-chain contract ids (useful for post-mortem inspection in tests).
+#[derive(Debug)]
+pub struct TimelockRun {
+    /// The measured outcome.
+    pub outcome: DealOutcome,
+    /// The timelock escrow contract installed on each involved chain.
+    pub contracts: BTreeMap<ChainId, ContractId>,
+    /// Which parties passed validation (compliant parties vote only if true).
+    pub validated: BTreeMap<PartyId, bool>,
+}
+
+/// Runs one deal under the timelock commit protocol.
+///
+/// The world must already contain the chains and parties the specification
+/// references (see [`crate::setup::world_for_spec`]); the engine installs the
+/// escrow contracts, schedules every party action according to its
+/// [`PartyConfig`], and returns the measured [`DealOutcome`].
+pub fn run_timelock(
+    world: &mut World,
+    spec: &DealSpec,
+    configs: &[PartyConfig],
+    opts: &TimelockOptions,
+) -> Result<TimelockRun, DealError> {
+    spec.validate()?;
+    setup::check_parties_exist(world, spec)?;
+    setup::check_chains_exist(world, spec)?;
+    setup::apply_offline_windows(world, configs);
+
+    let mut metrics = PhaseMetrics::new();
+    let initial_holdings = holdings_by_party(world, spec);
+
+    // ------------------------------------------------------------------
+    // Clearing phase: broadcast (D, plist, t0, ∆) and install the escrow
+    // contract on every involved chain.
+    // ------------------------------------------------------------------
+    let clearing_started = world.now();
+    let gas_before = world.total_gas();
+    // t0 must be far enough in the future for escrow, transfers and
+    // validation to complete (Section 5: "The choice of t0 should be far
+    // enough in the future to take into account the time needed to perform
+    // the deal's tentative transfers").
+    let t0 = world.now() + opts.delta.times(spec.n_transfers() as u64 + 6);
+    let info = TimelockDealInfo {
+        deal: spec.deal,
+        plist: spec.parties.clone(),
+        t0,
+        delta: opts.delta,
+    };
+    let mut contracts: BTreeMap<ChainId, ContractId> = BTreeMap::new();
+    for chain in spec.chains() {
+        let id = world
+            .chain_mut(chain)
+            .map_err(DealError::Chain)?
+            .install(TimelockManager::new(info.clone()));
+        contracts.insert(chain, id);
+    }
+    metrics.add_gas(Phase::Clearing, gas_before.delta_to(&world.total_gas()));
+    metrics.add_duration(Phase::Clearing, world.now() - clearing_started);
+
+    // ------------------------------------------------------------------
+    // Escrow phase: every participating party escrows its outgoing assets in
+    // parallel; the phase costs at most one observation delay.
+    // ------------------------------------------------------------------
+    let escrow_started = world.now();
+    let gas_before = world.total_gas();
+    for e in &spec.escrows {
+        let cfg = config_of(configs, e.owner);
+        if !cfg.will_escrow() {
+            continue;
+        }
+        let contract = contracts[&e.chain];
+        let result = world.call(e.chain, Owner::Party(e.owner), contract, |m: &mut TimelockManager, ctx| {
+            m.escrow(ctx, e.asset.clone())
+        });
+        match result {
+            Ok(()) => {}
+            Err(err) if cfg.is_compliant() && !world.is_offline(e.owner, world.now()) => {
+                return Err(DealError::Chain(err))
+            }
+            Err(_) => {} // deviating or offline parties simply fail to escrow
+        }
+    }
+    advance_one_observation(world);
+    metrics.add_gas(Phase::Escrow, gas_before.delta_to(&world.total_gas()));
+    metrics.add_duration(Phase::Escrow, world.now() - escrow_started);
+
+    // ------------------------------------------------------------------
+    // Transfer phase: tentative transfers in a dependency-respecting order.
+    // ------------------------------------------------------------------
+    let transfer_started = world.now();
+    let gas_before = world.total_gas();
+    let order = spec.transfer_order()?;
+    for (step, idx) in order.iter().enumerate() {
+        let t = &spec.transfers[*idx];
+        let cfg = config_of(configs, t.from);
+        if cfg.will_transfer() {
+            let contract = contracts[&t.chain];
+            let _ = world.call(t.chain, Owner::Party(t.from), contract, |m: &mut TimelockManager, ctx| {
+                m.transfer(ctx, t.asset.clone(), t.to)
+            });
+        }
+        // Sequential transfers: the next sender must observe this one first.
+        if !opts.concurrent_transfers && step + 1 < order.len() {
+            advance_one_observation(world);
+        }
+    }
+    advance_one_observation(world);
+    metrics.add_gas(Phase::Transfer, gas_before.delta_to(&world.total_gas()));
+    metrics.add_duration(Phase::Transfer, world.now() - transfer_started);
+
+    // ------------------------------------------------------------------
+    // Validation phase: each party inspects its escrowed incoming assets.
+    // ------------------------------------------------------------------
+    let validation_started = world.now();
+    let gas_before = world.total_gas();
+    let mut validated: BTreeMap<PartyId, bool> = BTreeMap::new();
+    for &p in &spec.parties {
+        let cfg = config_of(configs, p);
+        let ok = validation::validate_timelock(world, spec, &info, &contracts, p)
+            && !matches!(cfg.deviation, crate::party::Deviation::RejectValidation);
+        validated.insert(p, ok);
+    }
+    advance_one_observation(world);
+    metrics.add_gas(Phase::Validation, gas_before.delta_to(&world.total_gas()));
+    metrics.add_duration(Phase::Validation, world.now() - validation_started);
+
+    // ------------------------------------------------------------------
+    // Commit phase: direct votes at t0, then forwarding rounds, then timeout.
+    // ------------------------------------------------------------------
+    world.advance_to(t0);
+    let commit_started = world.now();
+    let gas_before = world.total_gas();
+    let mut published: Vec<PublishedVote> = Vec::new();
+
+    // Direct votes: each willing party votes on its incoming-asset chains
+    // (or on every chain when broadcasting altruistically).
+    for &p in &spec.parties {
+        let cfg = config_of(configs, p);
+        if !cfg.will_vote_commit() || !validated.get(&p).copied().unwrap_or(false) {
+            continue;
+        }
+        let target_chains: Vec<ChainId> = if opts.altruistic_broadcast {
+            spec.chains()
+        } else {
+            spec.incoming_chains_of(p)
+        };
+        let message = info.vote_message(p);
+        let key = world.key_pair(p).map_err(DealError::Chain)?.clone();
+        let vote = PathSignature::direct(p, &key, &message);
+        for chain in target_chains {
+            let contract = contracts[&chain];
+            let result = world.call(chain, Owner::Party(p), contract, |m: &mut TimelockManager, ctx| {
+                m.commit(ctx, &vote)
+            });
+            if result.is_ok() {
+                published.push(PublishedVote {
+                    chain,
+                    voter: p,
+                    path: vote.clone(),
+                    published_at: world.now(),
+                });
+            }
+        }
+    }
+
+    // Forwarding rounds: each round, every willing party forwards the votes it
+    // observes on its outgoing-asset chains to its incoming-asset chains.
+    // Strong connectivity guarantees every vote reaches every contract within
+    // n rounds; each round costs at most ∆.
+    let n_rounds = spec.n_parties();
+    for _round in 0..n_rounds {
+        if all_resolved(world, &contracts) {
+            break;
+        }
+        advance_one_observation(world);
+        let snapshot = published.clone();
+        for &p in &spec.parties {
+            let cfg = config_of(configs, p);
+            if !cfg.will_forward_votes() || !validated.get(&p).copied().unwrap_or(false) {
+                continue;
+            }
+            let outgoing = spec.outgoing_chains_of(p);
+            let incoming = spec.incoming_chains_of(p);
+            let key = world.key_pair(p).map_err(DealError::Chain)?.clone();
+            let round_now = world.now();
+            let observable: Vec<&PublishedVote> = snapshot
+                .iter()
+                .filter(|v| outgoing.contains(&v.chain) && v.published_at < round_now)
+                .collect();
+            for vote in observable {
+                for &target in &incoming {
+                    if target == vote.chain {
+                        continue;
+                    }
+                    // Skip if the target contract already accepted this voter.
+                    let already = world
+                        .chain(target)
+                        .ok()
+                        .and_then(|c| {
+                            c.view(contracts[&target], |m: &TimelockManager| {
+                                m.voted().contains(&vote.voter)
+                            })
+                            .ok()
+                        })
+                        .unwrap_or(false);
+                    if already {
+                        continue;
+                    }
+                    let message = info.vote_message(vote.voter);
+                    let forwarded = vote.path.forwarded_by(p, &key, &message);
+                    let contract = contracts[&target];
+                    let result = world.call(target, Owner::Party(p), contract, |m: &mut TimelockManager, ctx| {
+                        m.commit(ctx, &forwarded)
+                    });
+                    if result.is_ok() {
+                        published.push(PublishedVote {
+                            chain: target,
+                            voter: vote.voter,
+                            path: forwarded,
+                            published_at: world.now(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Timeout: refund any unresolved escrow once t0 + N·∆ has passed.
+    if !all_resolved(world, &contracts) {
+        world.advance_to(info.refund_time() + Duration(1));
+        for (&chain, &contract) in &contracts {
+            let unresolved = world
+                .chain(chain)
+                .ok()
+                .and_then(|c| c.view(contract, |m: &TimelockManager| m.resolution().is_none()).ok())
+                .unwrap_or(false);
+            if !unresolved {
+                continue;
+            }
+            if let Some(caller) = setup::pick_online_party(world, spec, configs) {
+                let _ = world.call(chain, Owner::Party(caller), contract, |m: &mut TimelockManager, ctx| {
+                    m.claim_timeout(ctx)
+                });
+            }
+        }
+    }
+    metrics.add_gas(Phase::Commit, gas_before.delta_to(&world.total_gas()));
+    metrics.add_duration(Phase::Commit, world.now() - commit_started);
+
+    // ------------------------------------------------------------------
+    // Collect the outcome.
+    // ------------------------------------------------------------------
+    let final_holdings = holdings_by_party(world, spec);
+    let mut resolutions = BTreeMap::new();
+    for (&chain, &contract) in &contracts {
+        let res = world
+            .chain(chain)
+            .ok()
+            .and_then(|c| c.view(contract, |m: &TimelockManager| m.resolution()).ok())
+            .flatten();
+        resolutions.insert(
+            chain,
+            match res {
+                Some(xchain_contracts::escrow::EscrowResolution::Committed) => {
+                    ChainResolution::Committed
+                }
+                Some(xchain_contracts::escrow::EscrowResolution::Aborted) => ChainResolution::Aborted,
+                None => ChainResolution::Unresolved,
+            },
+        );
+    }
+
+    Ok(TimelockRun {
+        outcome: DealOutcome {
+            protocol: ProtocolKind::Timelock,
+            initial_holdings,
+            final_holdings,
+            resolutions,
+            metrics,
+            delta: opts.delta,
+        },
+        contracts,
+        validated,
+    })
+}
+
+/// Advances the world clock by one sampled observation delay (≤ the worst-case
+/// delay of the network model at the current time).
+fn advance_one_observation(world: &mut World) {
+    let now = world.now();
+    let delay = world.network().sample_delay(now, world.rng());
+    world.advance_by(delay);
+}
+
+/// True if every escrow contract has resolved (committed or refunded).
+fn all_resolved(world: &World, contracts: &BTreeMap<ChainId, ContractId>) -> bool {
+    contracts.iter().all(|(&chain, &contract)| {
+        world
+            .chain(chain)
+            .ok()
+            .and_then(|c| c.view(contract, |m: &TimelockManager| m.resolution().is_some()).ok())
+            .unwrap_or(false)
+    })
+}
+
+/// Snapshot of every deal party's holdings across all chains.
+pub(crate) fn holdings_by_party(world: &World, spec: &DealSpec) -> BTreeMap<PartyId, AssetBag> {
+    spec.parties
+        .iter()
+        .map(|&p| (p, world.holdings(Owner::Party(p))))
+        .collect()
+}
+
+/// The gas usage attributable to the deal so far (convenience used by tests).
+pub fn total_gas(world: &World) -> GasUsage {
+    world.total_gas()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::Deviation;
+    use crate::builders::broker_spec;
+    use xchain_sim::asset::Asset;
+    use xchain_sim::network::NetworkModel;
+
+    fn run_broker(
+        configs: &[PartyConfig],
+        opts: &TimelockOptions,
+        seed: u64,
+    ) -> (World, TimelockRun, DealSpec) {
+        let spec = broker_spec();
+        let mut world =
+            setup::world_for_spec(&spec, NetworkModel::synchronous(opts.delta.ticks()), seed)
+                .unwrap();
+        let run = run_timelock(&mut world, &spec, configs, opts).unwrap();
+        (world, run, spec)
+    }
+
+    #[test]
+    fn all_compliant_broker_deal_commits_everywhere() {
+        let (world, run, spec) = run_broker(&[], &TimelockOptions::default(), 1);
+        assert!(run.outcome.committed_everywhere());
+        // Carol ends with the tickets, Bob with 100 coins, Alice with 1 coin.
+        let alice = spec.parties[0];
+        let bob = spec.parties[1];
+        let carol = spec.parties[2];
+        assert!(world
+            .holdings(Owner::Party(carol))
+            .contains(&Asset::non_fungible("ticket", [1, 2])));
+        assert_eq!(world.holdings(Owner::Party(bob)).balance(&"coin".into()), 100);
+        assert_eq!(world.holdings(Owner::Party(alice)).balance(&"coin".into()), 1);
+    }
+
+    #[test]
+    fn withheld_vote_times_out_and_refunds() {
+        let configs = vec![PartyConfig::deviating(PartyId(2), Deviation::WithholdVote)];
+        let (world, run, spec) = run_broker(&configs, &TimelockOptions::default(), 2);
+        assert!(run.outcome.aborted_everywhere());
+        let bob = spec.parties[1];
+        let carol = spec.parties[2];
+        // Original owners got their escrows back.
+        assert!(world
+            .holdings(Owner::Party(bob))
+            .contains(&Asset::non_fungible("ticket", [1, 2])));
+        assert_eq!(world.holdings(Owner::Party(carol)).balance(&"coin".into()), 101);
+    }
+
+    #[test]
+    fn crash_before_escrow_leaves_no_compliant_party_worse_off() {
+        let configs = vec![PartyConfig::deviating(PartyId(1), Deviation::RefuseEscrow)];
+        let (world, run, spec) = run_broker(&configs, &TimelockOptions::default(), 3);
+        // Bob never escrowed his tickets, so validation fails for Carol/Alice
+        // and the deal aborts everywhere.
+        assert!(!run.outcome.committed_everywhere());
+        assert!(run.outcome.fully_resolved());
+        let carol = spec.parties[2];
+        assert_eq!(world.holdings(Owner::Party(carol)).balance(&"coin".into()), 101);
+    }
+
+    #[test]
+    fn altruistic_broadcast_still_commits() {
+        let opts = TimelockOptions {
+            altruistic_broadcast: true,
+            ..TimelockOptions::default()
+        };
+        let (_, run, _) = run_broker(&[], &opts, 4);
+        assert!(run.outcome.committed_everywhere());
+        // Broadcast should not need forwarding rounds: commit duration is a
+        // small constant number of ∆.
+        let commit = run.outcome.metrics.duration(Phase::Commit);
+        assert!(commit.in_units_of(run.outcome.delta) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn metrics_capture_gas_and_time_per_phase() {
+        let (_, run, spec) = run_broker(&[], &TimelockOptions::default(), 5);
+        let m = &run.outcome.metrics;
+        // Escrow: 4 writes per escrowed asset (Figure 3).
+        assert_eq!(m.gas(Phase::Escrow).storage_writes, 4 * spec.n_assets() as u64);
+        // Transfer: 2 writes per tentative transfer.
+        assert_eq!(m.gas(Phase::Transfer).storage_writes, 2 * spec.n_transfers() as u64);
+        // Validation costs no gas.
+        assert_eq!(m.gas(Phase::Validation).total(), 0);
+        // Commit performs signature verifications.
+        assert!(m.gas(Phase::Commit).sig_verifications > 0);
+        assert!(m.duration(Phase::Commit) > Duration(0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, run_a, _) = run_broker(&[], &TimelockOptions::default(), 9);
+        let (_, run_b, _) = run_broker(&[], &TimelockOptions::default(), 9);
+        assert_eq!(
+            run_a.outcome.metrics.total_gas(),
+            run_b.outcome.metrics.total_gas()
+        );
+        assert_eq!(
+            run_a.outcome.metrics.total_duration(),
+            run_b.outcome.metrics.total_duration()
+        );
+    }
+}

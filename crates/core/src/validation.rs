@@ -1,0 +1,145 @@
+//! The validation phase: each party checks that its incoming assets are
+//! properly escrowed and that the deal information the contracts carry is the
+//! deal it agreed to (Section 4.1).
+
+use std::collections::BTreeMap;
+
+use xchain_contracts::cbc_manager::{CbcDealInfo, CbcManager};
+use xchain_contracts::timelock::{TimelockDealInfo, TimelockManager};
+use xchain_sim::asset::{Asset, AssetBag};
+use xchain_sim::ids::{ChainId, ContractId, PartyId};
+use xchain_sim::world::World;
+
+use crate::spec::DealSpec;
+
+/// The assets `party` expects to receive on `chain` according to the deal
+/// matrix, minus what it sends onward on the same chain (its net incoming
+/// position there is what must be tentatively owned by it at validation time).
+pub fn expected_on_chain(spec: &DealSpec, party: PartyId, chain: ChainId) -> AssetBag {
+    let mut bag = AssetBag::new();
+    for t in spec
+        .transfers
+        .iter()
+        .filter(|t| t.to == party && t.chain == chain)
+    {
+        bag.add(&t.asset);
+    }
+    for t in spec
+        .transfers
+        .iter()
+        .filter(|t| t.from == party && t.chain == chain)
+    {
+        bag.remove(&t.asset);
+    }
+    bag
+}
+
+fn assets_of_bag(bag: &AssetBag) -> Vec<Asset> {
+    let mut assets = Vec::new();
+    for (kind, amount) in bag.fungible_holdings() {
+        if amount > 0 {
+            assets.push(Asset::Fungible {
+                kind: kind.clone(),
+                amount,
+            });
+        }
+    }
+    for (kind, tokens) in bag.non_fungible_holdings() {
+        if !tokens.is_empty() {
+            assets.push(Asset::NonFungible {
+                kind: kind.clone(),
+                tokens: tokens.clone(),
+            });
+        }
+    }
+    assets
+}
+
+/// Validation under the timelock protocol: on every chain where the party has
+/// incoming assets, the escrow contract must carry the agreed deal information
+/// and the party's C-map entry must cover its expected net incoming assets.
+pub fn validate_timelock(
+    world: &World,
+    spec: &DealSpec,
+    info: &TimelockDealInfo,
+    contracts: &BTreeMap<ChainId, ContractId>,
+    party: PartyId,
+) -> bool {
+    for chain in spec.incoming_chains_of(party) {
+        let Some(&contract) = contracts.get(&chain) else {
+            return false;
+        };
+        let Ok(chain_ref) = world.chain(chain) else {
+            return false;
+        };
+        let ok = chain_ref
+            .view(contract, |m: &TimelockManager| {
+                if m.info() != info {
+                    return false;
+                }
+                let expected = expected_on_chain(spec, party, chain);
+                let tentative = m.core().on_commit_of(party);
+                assets_of_bag(&expected).iter().all(|a| tentative.contains(a))
+            })
+            .unwrap_or(false);
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Validation under the CBC protocol: same checks against the CBC escrow
+/// contracts (deal id, plist, startDeal hash, validator set, and tentative
+/// ownership of the expected incoming assets).
+pub fn validate_cbc(
+    world: &World,
+    spec: &DealSpec,
+    info: &CbcDealInfo,
+    contracts: &BTreeMap<ChainId, ContractId>,
+    party: PartyId,
+) -> bool {
+    for chain in spec.incoming_chains_of(party) {
+        let Some(&contract) = contracts.get(&chain) else {
+            return false;
+        };
+        let Ok(chain_ref) = world.chain(chain) else {
+            return false;
+        };
+        let ok = chain_ref
+            .view(contract, |m: &CbcManager| {
+                if m.info() != info {
+                    return false;
+                }
+                let expected = expected_on_chain(spec, party, chain);
+                let tentative = m.core().on_commit_of(party);
+                assets_of_bag(&expected).iter().all(|a| tentative.contains(a))
+            })
+            .unwrap_or(false);
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::broker_spec;
+
+    #[test]
+    fn expected_on_chain_accounts_for_onward_transfers() {
+        let spec = broker_spec();
+        let alice = PartyId(0);
+        // On the coin chain Alice receives 101 and sends 100 onward: net 1.
+        let bag = expected_on_chain(&spec, alice, ChainId(1));
+        assert_eq!(bag.balance(&"coin".into()), 1);
+        // On the ticket chain Alice receives the tickets but forwards them all.
+        let bag = expected_on_chain(&spec, alice, ChainId(0));
+        assert!(bag.is_empty());
+        // Carol expects the two tickets on the ticket chain.
+        let bag = expected_on_chain(&spec, PartyId(2), ChainId(0));
+        assert!(bag.contains(&Asset::non_fungible("ticket", [1, 2])));
+    }
+}

@@ -1,0 +1,72 @@
+//! Adversary sweeps: enumerate deviation strategies and deviating-party
+//! subsets so the safety experiments cover every misbehaviour the paper
+//! discusses, for both protocols.
+
+use xchain_deals::party::{Deviation, PartyConfig};
+use xchain_deals::phases::Phase;
+use xchain_deals::spec::DealSpec;
+use xchain_sim::ids::PartyId;
+use xchain_sim::time::Time;
+
+/// Every single-party deviation strategy exercised by the safety sweep.
+pub fn all_deviations(delta: u64) -> Vec<Deviation> {
+    vec![
+        Deviation::RefuseEscrow,
+        Deviation::SkipTransfers,
+        Deviation::WithholdVote,
+        Deviation::NeverForward,
+        Deviation::VoteAbort,
+        Deviation::RejectValidation,
+        Deviation::CrashAfter(Phase::Clearing),
+        Deviation::CrashAfter(Phase::Escrow),
+        Deviation::CrashAfter(Phase::Transfer),
+        Deviation::CrashAfter(Phase::Validation),
+        Deviation::OfflineDuring {
+            from: Time(0),
+            until: Time(delta * 50),
+        },
+    ]
+}
+
+/// All configurations in which exactly one party deviates, for each strategy.
+pub fn single_deviator_configs(spec: &DealSpec, delta: u64) -> Vec<Vec<PartyConfig>> {
+    let mut configs = Vec::new();
+    for &p in &spec.parties {
+        for d in all_deviations(delta) {
+            configs.push(vec![PartyConfig::deviating(p, d)]);
+        }
+    }
+    configs
+}
+
+/// Configurations in which every party except `honest` deviates with the same
+/// strategy — the paper makes no assumption about how many parties deviate, so
+/// the sweep includes "everyone else is malicious" cases.
+pub fn all_but_one_deviate(spec: &DealSpec, honest: PartyId, delta: u64) -> Vec<Vec<PartyConfig>> {
+    all_deviations(delta)
+        .into_iter()
+        .map(|d| {
+            spec.parties
+                .iter()
+                .filter(|p| **p != honest)
+                .map(|p| PartyConfig::deviating(*p, d))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xchain_deals::builders::broker_spec;
+
+    #[test]
+    fn sweeps_cover_every_party_and_strategy() {
+        let spec = broker_spec();
+        let singles = single_deviator_configs(&spec, 100);
+        assert_eq!(singles.len(), 3 * all_deviations(100).len());
+        let majority = all_but_one_deviate(&spec, PartyId(0), 100);
+        assert_eq!(majority.len(), all_deviations(100).len());
+        assert!(majority.iter().all(|c| c.len() == 2));
+    }
+}

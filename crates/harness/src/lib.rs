@@ -1,0 +1,14 @@
+//! # xchain-harness
+//!
+//! Workload generators, adversary sweeps, and the experiments that regenerate
+//! every table and figure of *Cross-chain Deals and Adversarial Commerce*
+//! (see DESIGN.md §3 for the per-experiment index and EXPERIMENTS.md for the
+//! measured results).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adversary;
+pub mod experiments;
+pub mod report;
+pub mod workload;

@@ -1,0 +1,532 @@
+//! The blockchain ledger: asset ownership, contract hosting, and the public log.
+//!
+//! Each [`Blockchain`] is "a publicly-readable, tamper-proof distributed
+//! ledger that tracks ownership of assets among various parties" (Section 3).
+//! The simulator collapses the replication machinery: what the protocols need
+//! from a chain is (a) authoritative asset ownership, (b) deterministic
+//! contract execution with gas costs, (c) an append-only log that parties can
+//! monitor, and (d) a notion of chain time with bounded observation latency.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::asset::{Asset, AssetBag, AssetKind};
+use crate::contract::{CallCtx, Contract};
+use crate::crypto::{KeyDirectory, KeyPair};
+use crate::error::{ChainError, ChainResult};
+use crate::gas::{GasMeter, GasUsage};
+use crate::ids::{ChainId, ContractId, Owner, PartyId, TokenId};
+use crate::time::{Duration, Time};
+
+/// Authoritative record of who owns what on one chain.
+#[derive(Debug, Clone, Default)]
+pub struct AssetLedger {
+    fungible: BTreeMap<(Owner, AssetKind), u64>,
+    non_fungible: BTreeMap<(AssetKind, TokenId), Owner>,
+}
+
+impl AssetLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates new units of an asset owned by `owner` (test/workload setup;
+    /// real chains would do this in their native issuance rules).
+    pub fn mint(&mut self, owner: Owner, asset: &Asset) -> ChainResult<()> {
+        match asset {
+            Asset::Fungible { kind, amount } => {
+                *self.fungible.entry((owner, kind.clone())).or_insert(0) += amount;
+                Ok(())
+            }
+            Asset::NonFungible { kind, tokens } => {
+                for t in tokens {
+                    if self.non_fungible.contains_key(&(kind.clone(), *t)) {
+                        return Err(ChainError::require(format!(
+                            "token {t} of kind '{kind}' already minted"
+                        )));
+                    }
+                }
+                for t in tokens {
+                    self.non_fungible.insert((kind.clone(), *t), owner);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The fungible balance of `owner` in `kind`.
+    pub fn balance(&self, owner: Owner, kind: &AssetKind) -> u64 {
+        self.fungible
+            .get(&(owner, kind.clone()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The current owner of a non-fungible token, if it exists.
+    pub fn token_owner(&self, kind: &AssetKind, token: TokenId) -> Option<Owner> {
+        self.non_fungible.get(&(kind.clone(), token)).copied()
+    }
+
+    /// True if `owner` holds at least `asset`.
+    pub fn holds(&self, owner: Owner, asset: &Asset) -> bool {
+        match asset {
+            Asset::Fungible { kind, amount } => self.balance(owner, kind) >= *amount,
+            Asset::NonFungible { kind, tokens } => tokens
+                .iter()
+                .all(|t| self.token_owner(kind, *t) == Some(owner)),
+        }
+    }
+
+    /// Transfers `asset` from `from` to `to`, failing if `from` does not hold it.
+    pub fn transfer(&mut self, from: Owner, to: Owner, asset: &Asset) -> ChainResult<()> {
+        match asset {
+            Asset::Fungible { kind, amount } => {
+                let have = self.balance(from, kind);
+                if have < *amount {
+                    return Err(ChainError::InsufficientBalance {
+                        owner: from,
+                        kind: kind.name().to_string(),
+                        requested: *amount,
+                        available: have,
+                    });
+                }
+                if *amount == 0 {
+                    return Ok(());
+                }
+                *self.fungible.entry((from, kind.clone())).or_insert(0) -= amount;
+                *self.fungible.entry((to, kind.clone())).or_insert(0) += amount;
+                Ok(())
+            }
+            Asset::NonFungible { kind, tokens } => {
+                for t in tokens {
+                    if self.token_owner(kind, *t) != Some(from) {
+                        return Err(ChainError::NotTokenOwner {
+                            owner: from,
+                            kind: kind.name().to_string(),
+                            token: *t,
+                        });
+                    }
+                }
+                for t in tokens {
+                    self.non_fungible.insert((kind.clone(), *t), to);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Everything `owner` holds on this chain.
+    pub fn holdings(&self, owner: Owner) -> AssetBag {
+        let mut bag = AssetBag::new();
+        for ((o, kind), amount) in &self.fungible {
+            if *o == owner && *amount > 0 {
+                bag.add(&Asset::Fungible {
+                    kind: kind.clone(),
+                    amount: *amount,
+                });
+            }
+        }
+        for ((kind, token), o) in &self.non_fungible {
+            if *o == owner {
+                bag.add(&Asset::NonFungible {
+                    kind: kind.clone(),
+                    tokens: [*token].into_iter().collect(),
+                });
+            }
+        }
+        bag
+    }
+
+    /// Total supply of a fungible kind across all owners (conservation checks).
+    pub fn total_supply(&self, kind: &AssetKind) -> u64 {
+        self.fungible
+            .iter()
+            .filter(|((_, k), _)| k == kind)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// All owners currently holding anything (parties and contracts).
+    pub fn owners(&self) -> Vec<Owner> {
+        let mut owners: Vec<Owner> = self
+            .fungible
+            .iter()
+            .filter(|(_, v)| **v > 0)
+            .map(|((o, _), _)| *o)
+            .chain(self.non_fungible.values().copied())
+            .collect();
+        owners.sort();
+        owners.dedup();
+        owners
+    }
+}
+
+/// One entry in a chain's public log. Contracts append entries via
+/// [`CallCtx::emit`]; parties monitor chains by reading the log (subject to
+/// the network model's observation delay).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Monotonically increasing sequence number on this chain.
+    pub seq: u64,
+    /// Chain time at which the entry was appended.
+    pub time: Time,
+    /// The contract that emitted the entry, if any.
+    pub contract: Option<ContractId>,
+    /// The caller whose transaction produced the entry.
+    pub caller: Owner,
+    /// A short label, e.g. `"escrow"`, `"commit-vote"`, `"startDeal"`.
+    pub label: String,
+    /// Numeric payload (ids, amounts, hashes).
+    pub data: Vec<u64>,
+}
+
+/// A single simulated blockchain.
+pub struct Blockchain {
+    id: ChainId,
+    name: String,
+    /// Chain time is quantized to this block interval ("most blockchains
+    /// measure time imprecisely, usually by multiplying the current block
+    /// height by the average block rate", Section 5).
+    block_interval: Duration,
+    assets: AssetLedger,
+    contracts: BTreeMap<ContractId, Box<dyn Contract>>,
+    next_contract: u64,
+    gas: GasMeter,
+    keys: KeyDirectory,
+    log: Vec<LogEntry>,
+    log_seq: u64,
+}
+
+impl Blockchain {
+    /// Creates a chain with the given display name and block interval.
+    pub fn new(id: ChainId, name: impl Into<String>, block_interval: Duration) -> Self {
+        Blockchain {
+            id,
+            name: name.into(),
+            block_interval: if block_interval.ticks() == 0 {
+                Duration(1)
+            } else {
+                block_interval
+            },
+            assets: AssetLedger::new(),
+            contracts: BTreeMap::new(),
+            next_contract: 1,
+            gas: GasMeter::unlimited(),
+            keys: KeyDirectory::new(),
+            log: Vec::new(),
+            log_seq: 0,
+        }
+    }
+
+    /// The chain id.
+    pub fn id(&self) -> ChainId {
+        self.id
+    }
+
+    /// The chain's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Chain time derived from wall (world) time by block quantization.
+    pub fn chain_time(&self, now: Time) -> Time {
+        let q = self.block_interval.ticks();
+        Time((now.ticks() / q) * q)
+    }
+
+    /// Registers a party's key so contracts on this chain can verify its
+    /// signatures.
+    pub fn register_key(&mut self, party: PartyId, kp: &KeyPair) {
+        self.keys.register(party, kp);
+    }
+
+    /// The chain's public-key directory.
+    pub fn keys(&self) -> &KeyDirectory {
+        &self.keys
+    }
+
+    /// Installs a contract and returns its id.
+    pub fn install<C: Contract>(&mut self, contract: C) -> ContractId {
+        let id = ContractId(((self.id.0 as u64) << 32) | self.next_contract);
+        self.next_contract += 1;
+        self.contracts.insert(id, Box::new(contract));
+        id
+    }
+
+    /// Mints assets directly to an owner (workload setup).
+    pub fn mint(&mut self, owner: Owner, asset: &Asset) -> ChainResult<()> {
+        self.assets.mint(owner, asset)
+    }
+
+    /// Read-only access to the asset ledger.
+    pub fn assets(&self) -> &AssetLedger {
+        &self.assets
+    }
+
+    /// Everything `owner` holds on this chain.
+    pub fn holdings(&self, owner: Owner) -> AssetBag {
+        self.assets.holdings(owner)
+    }
+
+    /// Cumulative gas usage on this chain.
+    pub fn gas_usage(&self) -> GasUsage {
+        self.gas.usage()
+    }
+
+    /// The full public log.
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Log entries appended at or after `since` (chain time).
+    pub fn log_since(&self, since: Time) -> impl Iterator<Item = &LogEntry> {
+        self.log.iter().filter(move |e| e.time >= since)
+    }
+
+    /// Submits a transaction that calls contract `id`, dispatching on the
+    /// concrete contract type `C`. The closure receives the downcast contract
+    /// and a [`CallCtx`]; its result is the call's result. Charges the
+    /// intrinsic call cost plus whatever the contract charges.
+    ///
+    /// A failed call (`Err`) still consumes the gas charged up to the failure
+    /// point, like a reverted Ethereum transaction consumes gas.
+    pub fn call<C, R>(
+        &mut self,
+        now: Time,
+        caller: Owner,
+        id: ContractId,
+        f: impl FnOnce(&mut C, &mut CallCtx<'_>) -> ChainResult<R>,
+    ) -> ChainResult<R>
+    where
+        C: Contract,
+    {
+        let mut boxed = self
+            .contracts
+            .remove(&id)
+            .ok_or(ChainError::UnknownContract(id))?;
+        self.gas
+            .charge_call()
+            .map_err(|(used, limit)| ChainError::OutOfGas { used, limit })?;
+        let chain_now = self.chain_time(now);
+        let result = {
+            let concrete = match boxed.as_any_mut().downcast_mut::<C>() {
+                Some(c) => c,
+                None => {
+                    self.contracts.insert(id, boxed);
+                    return Err(ChainError::ContractTypeMismatch(id));
+                }
+            };
+            let mut ctx = CallCtx {
+                chain: self.id,
+                contract: id,
+                caller,
+                now: chain_now,
+                gas: &mut self.gas,
+                assets: &mut self.assets,
+                keys: &self.keys,
+                log: &mut self.log,
+                log_seq: &mut self.log_seq,
+            };
+            f(concrete, &mut ctx)
+        };
+        self.contracts.insert(id, boxed);
+        result
+    }
+
+    /// Reads contract state without submitting a transaction (an off-chain
+    /// `eth_call`): free of gas, immutable access only.
+    pub fn view<C, R>(&self, id: ContractId, f: impl FnOnce(&C) -> R) -> ChainResult<R>
+    where
+        C: Contract,
+    {
+        let boxed = self
+            .contracts
+            .get(&id)
+            .ok_or(ChainError::UnknownContract(id))?;
+        let concrete = boxed
+            .as_any()
+            .downcast_ref::<C>()
+            .ok_or(ChainError::ContractTypeMismatch(id))?;
+        Ok(f(concrete))
+    }
+
+    /// Number of contracts installed on this chain.
+    pub fn contract_count(&self) -> usize {
+        self.contracts.len()
+    }
+}
+
+impl std::fmt::Debug for Blockchain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Blockchain")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("contracts", &self.contracts.len())
+            .field("log_entries", &self.log.len())
+            .field("gas", &self.gas.usage())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    #[derive(Default)]
+    struct Counter {
+        value: u64,
+    }
+
+    impl Contract for Counter {
+        fn type_name(&self) -> &'static str {
+            "counter"
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    impl Counter {
+        fn bump(&mut self, ctx: &mut CallCtx<'_>, by: u64) -> ChainResult<u64> {
+            ctx.charge_storage_write()?;
+            self.value += by;
+            ctx.emit("bump", vec![self.value])?;
+            Ok(self.value)
+        }
+    }
+
+    fn chain() -> Blockchain {
+        Blockchain::new(ChainId(0), "test-chain", Duration(10))
+    }
+
+    #[test]
+    fn mint_transfer_and_holdings() {
+        let mut l = AssetLedger::new();
+        let alice = Owner::Party(PartyId(0));
+        let bob = Owner::Party(PartyId(1));
+        l.mint(alice, &Asset::fungible("coin", 100)).unwrap();
+        l.mint(bob, &Asset::non_fungible("ticket", [1, 2])).unwrap();
+        assert_eq!(l.balance(alice, &"coin".into()), 100);
+        assert_eq!(l.token_owner(&"ticket".into(), TokenId(1)), Some(bob));
+
+        l.transfer(alice, bob, &Asset::fungible("coin", 40)).unwrap();
+        assert_eq!(l.balance(alice, &"coin".into()), 60);
+        assert_eq!(l.balance(bob, &"coin".into()), 40);
+
+        l.transfer(bob, alice, &Asset::non_fungible("ticket", [1]))
+            .unwrap();
+        assert_eq!(l.token_owner(&"ticket".into(), TokenId(1)), Some(alice));
+
+        let holdings = l.holdings(alice);
+        assert_eq!(holdings.balance(&"coin".into()), 60);
+        assert!(holdings.contains(&Asset::non_fungible("ticket", [1])));
+        assert_eq!(l.total_supply(&"coin".into()), 100);
+        assert_eq!(l.owners().len(), 2);
+    }
+
+    #[test]
+    fn transfer_rejects_overdraft_and_wrong_token_owner() {
+        let mut l = AssetLedger::new();
+        let alice = Owner::Party(PartyId(0));
+        let bob = Owner::Party(PartyId(1));
+        l.mint(alice, &Asset::fungible("coin", 10)).unwrap();
+        l.mint(alice, &Asset::non_fungible("ticket", [7])).unwrap();
+        assert!(matches!(
+            l.transfer(alice, bob, &Asset::fungible("coin", 11)),
+            Err(ChainError::InsufficientBalance { .. })
+        ));
+        assert!(matches!(
+            l.transfer(bob, alice, &Asset::non_fungible("ticket", [7])),
+            Err(ChainError::NotTokenOwner { .. })
+        ));
+        // failed transfers change nothing
+        assert_eq!(l.balance(alice, &"coin".into()), 10);
+    }
+
+    #[test]
+    fn double_mint_of_token_rejected() {
+        let mut l = AssetLedger::new();
+        let alice = Owner::Party(PartyId(0));
+        l.mint(alice, &Asset::non_fungible("ticket", [1])).unwrap();
+        assert!(l
+            .mint(alice, &Asset::non_fungible("ticket", [1]))
+            .is_err());
+    }
+
+    #[test]
+    fn contract_calls_charge_gas_and_mutate_state() {
+        let mut c = chain();
+        let id = c.install(Counter::default());
+        let caller = Owner::Party(PartyId(3));
+        let v = c
+            .call(Time(25), caller, id, |ctr: &mut Counter, ctx| {
+                ctr.bump(ctx, 5)
+            })
+            .unwrap();
+        assert_eq!(v, 5);
+        let v = c
+            .call(Time(31), caller, id, |ctr: &mut Counter, ctx| {
+                ctr.bump(ctx, 2)
+            })
+            .unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(c.view(id, |ctr: &Counter| ctr.value).unwrap(), 7);
+        let usage = c.gas_usage();
+        assert_eq!(usage.calls, 2);
+        assert_eq!(usage.storage_writes, 2);
+        assert_eq!(usage.log_entries, 2);
+        // chain time is quantized to the 10-tick block interval
+        assert_eq!(c.log()[0].time, Time(20));
+        assert_eq!(c.log()[1].time, Time(30));
+    }
+
+    #[test]
+    fn call_unknown_or_mismatched_contract_fails() {
+        let mut c = chain();
+        let id = c.install(Counter::default());
+        assert!(matches!(
+            c.call(Time(0), Owner::Party(PartyId(0)), ContractId(999), |_: &mut Counter, _| Ok(())),
+            Err(ChainError::UnknownContract(_))
+        ));
+
+        struct Other;
+        impl Contract for Other {
+            fn type_name(&self) -> &'static str {
+                "other"
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        assert!(matches!(
+            c.call(Time(0), Owner::Party(PartyId(0)), id, |_: &mut Other, _| Ok(())),
+            Err(ChainError::ContractTypeMismatch(_))
+        ));
+        // contract survives the failed dispatch
+        assert_eq!(c.contract_count(), 1);
+        assert_eq!(c.view(id, |ctr: &Counter| ctr.value).unwrap(), 0);
+    }
+
+    #[test]
+    fn log_since_filters_by_time() {
+        let mut c = chain();
+        let id = c.install(Counter::default());
+        let caller = Owner::Party(PartyId(0));
+        for t in [5u64, 15, 25, 35] {
+            c.call(Time(t), caller, id, |ctr: &mut Counter, ctx| ctr.bump(ctx, 1))
+                .unwrap();
+        }
+        assert_eq!(c.log().len(), 4);
+        assert_eq!(c.log_since(Time(20)).count(), 2);
+        assert_eq!(c.log_since(Time(0)).count(), 4);
+    }
+}

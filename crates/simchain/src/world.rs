@@ -1,0 +1,394 @@
+//! The simulation world: a collection of independent blockchains, the parties
+//! that act on them, a global logical clock, and the network timing model.
+//!
+//! The world is deliberately *not* an actor framework: the deal protocol
+//! engines (in `xchain-deals`) decide who acts when, because the timing of
+//! party actions *is* the protocol. The world provides the shared pieces:
+//! chains, keys, time, observation delays, offline windows and gas totals.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::asset::{Asset, AssetBag};
+use crate::contract::{CallCtx, Contract};
+use crate::crypto::KeyPair;
+use crate::error::{ChainError, ChainResult};
+use crate::gas::GasUsage;
+use crate::ids::{ChainId, ContractId, Owner, PartyId};
+use crate::ledger::Blockchain;
+use crate::network::{NetworkModel, OfflineSchedule};
+use crate::time::{Duration, Time};
+
+/// The multi-chain simulation world.
+pub struct World {
+    clock: Time,
+    chains: BTreeMap<ChainId, Blockchain>,
+    next_chain: u32,
+    parties: BTreeMap<PartyId, KeyPair>,
+    next_party: u32,
+    network: NetworkModel,
+    offline: OfflineSchedule,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl World {
+    /// Creates a world with a deterministic seed and the default synchronous
+    /// network model.
+    pub fn new(seed: u64) -> Self {
+        World {
+            clock: Time::ZERO,
+            chains: BTreeMap::new(),
+            next_chain: 0,
+            parties: BTreeMap::new(),
+            next_party: 0,
+            network: NetworkModel::default(),
+            offline: OfflineSchedule::new(),
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Creates a world with an explicit network model.
+    pub fn with_network(seed: u64, network: NetworkModel) -> Self {
+        let mut w = World::new(seed);
+        w.network = network;
+        w
+    }
+
+    /// The seed this world was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The network model in force.
+    pub fn network(&self) -> NetworkModel {
+        self.network
+    }
+
+    /// Replaces the network model (e.g. to flip from asynchronous to
+    /// synchronous at GST in a scripted scenario).
+    pub fn set_network(&mut self, network: NetworkModel) {
+        self.network = network;
+    }
+
+    /// The current global clock.
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    /// Advances the clock to `t` (no-op if `t` is in the past).
+    pub fn advance_to(&mut self, t: Time) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance_by(&mut self, d: Duration) {
+        self.clock = self.clock + d;
+    }
+
+    // ------------------------------------------------------------------
+    // Chains
+    // ------------------------------------------------------------------
+
+    /// Creates a new blockchain with the given name and block interval and
+    /// returns its id. Existing parties' keys are registered on it.
+    pub fn add_chain(&mut self, name: &str, block_interval: Duration) -> ChainId {
+        let id = ChainId(self.next_chain);
+        self.next_chain += 1;
+        let mut chain = Blockchain::new(id, name, block_interval);
+        for (party, kp) in &self.parties {
+            chain.register_key(*party, kp);
+        }
+        self.chains.insert(id, chain);
+        id
+    }
+
+    /// Immutable access to a chain.
+    pub fn chain(&self, id: ChainId) -> ChainResult<&Blockchain> {
+        self.chains.get(&id).ok_or(ChainError::UnknownChain(id))
+    }
+
+    /// Mutable access to a chain.
+    pub fn chain_mut(&mut self, id: ChainId) -> ChainResult<&mut Blockchain> {
+        self.chains.get_mut(&id).ok_or(ChainError::UnknownChain(id))
+    }
+
+    /// Ids of all chains in creation order.
+    pub fn chain_ids(&self) -> Vec<ChainId> {
+        self.chains.keys().copied().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Parties
+    // ------------------------------------------------------------------
+
+    /// Creates a new party, derives its key pair, and registers the public key
+    /// on every chain.
+    pub fn add_party(&mut self) -> PartyId {
+        let id = PartyId(self.next_party);
+        self.next_party += 1;
+        let kp = KeyPair::derive(id, self.seed);
+        for chain in self.chains.values_mut() {
+            chain.register_key(id, &kp);
+        }
+        self.parties.insert(id, kp);
+        id
+    }
+
+    /// Creates `n` parties and returns their ids.
+    pub fn add_parties(&mut self, n: usize) -> Vec<PartyId> {
+        (0..n).map(|_| self.add_party()).collect()
+    }
+
+    /// The key pair of a party. Protocol engines call this only on behalf of
+    /// the party whose action they are simulating; that discipline is the
+    /// simulation counterpart of "only the key holder can sign".
+    pub fn key_pair(&self, party: PartyId) -> ChainResult<&KeyPair> {
+        self.parties
+            .get(&party)
+            .ok_or_else(|| ChainError::Other(format!("unknown party {party}")))
+    }
+
+    /// All party ids in creation order.
+    pub fn party_ids(&self) -> Vec<PartyId> {
+        self.parties.keys().copied().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Availability / network
+    // ------------------------------------------------------------------
+
+    /// Marks a party offline during `[from, until)`.
+    pub fn set_offline(&mut self, party: PartyId, from: Time, until: Time) {
+        self.offline.add(party, from, until);
+    }
+
+    /// True if the party is offline at time `t`.
+    pub fn is_offline(&self, party: PartyId, t: Time) -> bool {
+        self.offline.is_offline(party, t)
+    }
+
+    /// The earliest time at or after `t` when the party can act again.
+    pub fn next_online(&self, party: PartyId, t: Time) -> Time {
+        self.offline.next_online(party, t)
+    }
+
+    /// Samples the time at which an event occurring at `event_time` becomes
+    /// observable to a party, per the network model (and the party's offline
+    /// windows: an offline party observes only once it is back).
+    pub fn observation_time(&mut self, party: PartyId, event_time: Time) -> Time {
+        let delay = self.network.sample_delay(event_time, &mut self.rng);
+        let visible = event_time + delay;
+        self.offline.next_online(party, visible)
+    }
+
+    /// The worst-case observation latency at time `t` (used to compute
+    /// protocol timeouts in the engines).
+    pub fn worst_case_delay(&self, t: Time) -> Duration {
+        self.network.max_delay_at(t)
+    }
+
+    /// Mutable access to the world RNG (adversary strategies and workload
+    /// generators use this so runs stay reproducible from the world seed).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience wrappers
+    // ------------------------------------------------------------------
+
+    /// Mints assets to a party on a chain (workload setup).
+    pub fn mint(&mut self, chain: ChainId, owner: Owner, asset: &Asset) -> ChainResult<()> {
+        self.chain_mut(chain)?.mint(owner, asset)
+    }
+
+    /// Submits a contract call from `caller` at the current clock, rejecting
+    /// it if the caller is a party that is currently offline.
+    pub fn call<C, R>(
+        &mut self,
+        chain: ChainId,
+        caller: Owner,
+        contract: ContractId,
+        f: impl FnOnce(&mut C, &mut CallCtx<'_>) -> ChainResult<R>,
+    ) -> ChainResult<R>
+    where
+        C: Contract,
+    {
+        if let Owner::Party(p) = caller {
+            if self.offline.is_offline(p, self.clock) {
+                return Err(ChainError::PartyOffline(p));
+            }
+        }
+        let now = self.clock;
+        self.chain_mut(chain)?.call(now, caller, contract, f)
+    }
+
+    /// Submits a contract call at an explicit time (advancing the clock to it
+    /// first). Convenience for scripted schedules.
+    pub fn call_at<C, R>(
+        &mut self,
+        at: Time,
+        chain: ChainId,
+        caller: Owner,
+        contract: ContractId,
+        f: impl FnOnce(&mut C, &mut CallCtx<'_>) -> ChainResult<R>,
+    ) -> ChainResult<R>
+    where
+        C: Contract,
+    {
+        self.advance_to(at);
+        self.call(chain, caller, contract, f)
+    }
+
+    /// Everything `owner` holds across all chains.
+    pub fn holdings(&self, owner: Owner) -> AssetBag {
+        let mut bag = AssetBag::new();
+        for chain in self.chains.values() {
+            let chain_bag = chain.holdings(owner);
+            for (kind, amount) in chain_bag.fungible_holdings() {
+                bag.add(&Asset::Fungible {
+                    kind: kind.clone(),
+                    amount,
+                });
+            }
+            for (kind, tokens) in chain_bag.non_fungible_holdings() {
+                bag.add(&Asset::NonFungible {
+                    kind: kind.clone(),
+                    tokens: tokens.clone(),
+                });
+            }
+        }
+        bag
+    }
+
+    /// Total gas used across all chains.
+    pub fn total_gas(&self) -> GasUsage {
+        self.chains
+            .values()
+            .fold(GasUsage::ZERO, |acc, c| acc + c.gas_usage())
+    }
+
+    /// Per-chain gas usage snapshots (used by the experiments to attribute gas
+    /// to phases).
+    pub fn gas_by_chain(&self) -> BTreeMap<ChainId, GasUsage> {
+        self.chains
+            .iter()
+            .map(|(id, c)| (*id, c.gas_usage()))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("clock", &self.clock)
+            .field("chains", &self.chains.len())
+            .field("parties", &self.parties.len())
+            .field("network", &self.network)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_setup_and_clock() {
+        let mut w = World::new(7);
+        let c1 = w.add_chain("coins", Duration(10));
+        let p1 = w.add_party();
+        let c2 = w.add_chain("tickets", Duration(10));
+        assert_eq!(w.chain_ids(), vec![c1, c2]);
+        assert_eq!(w.party_ids(), vec![p1]);
+        // party key is registered on both chains, including the one created later
+        assert!(w.chain(c1).unwrap().keys().public_key_of(p1).is_some());
+        assert!(w.chain(c2).unwrap().keys().public_key_of(p1).is_some());
+
+        assert_eq!(w.now(), Time(0));
+        w.advance_by(Duration(50));
+        w.advance_to(Time(30)); // no going back
+        assert_eq!(w.now(), Time(50));
+    }
+
+    #[test]
+    fn holdings_span_chains() {
+        let mut w = World::new(1);
+        let c1 = w.add_chain("coins", Duration(1));
+        let c2 = w.add_chain("tickets", Duration(1));
+        let p = w.add_party();
+        w.mint(c1, Owner::Party(p), &Asset::fungible("coin", 10))
+            .unwrap();
+        w.mint(c2, Owner::Party(p), &Asset::non_fungible("ticket", [1]))
+            .unwrap();
+        let bag = w.holdings(Owner::Party(p));
+        assert_eq!(bag.balance(&"coin".into()), 10);
+        assert!(bag.contains(&Asset::non_fungible("ticket", [1])));
+    }
+
+    #[test]
+    fn observation_time_respects_offline_windows() {
+        let mut w = World::with_network(3, NetworkModel::synchronous(10));
+        let _c = w.add_chain("x", Duration(1));
+        let p = w.add_party();
+        w.set_offline(p, Time(0), Time(100));
+        let obs = w.observation_time(p, Time(5));
+        assert!(obs >= Time(100));
+        let q = w.add_party();
+        let obs_q = w.observation_time(q, Time(5));
+        assert!(obs_q > Time(5) && obs_q <= Time(15));
+    }
+
+    #[test]
+    fn offline_party_cannot_call() {
+        use crate::contract::Contract;
+        use std::any::Any;
+
+        struct Noop;
+        impl Contract for Noop {
+            fn type_name(&self) -> &'static str {
+                "noop"
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut w = World::new(9);
+        let c = w.add_chain("x", Duration(1));
+        let p = w.add_party();
+        let cid = w.chain_mut(c).unwrap().install(Noop);
+        w.set_offline(p, Time(0), Time(10));
+        let err = w
+            .call(c, Owner::Party(p), cid, |_: &mut Noop, _| Ok(()))
+            .unwrap_err();
+        assert_eq!(err, ChainError::PartyOffline(p));
+        w.advance_to(Time(10));
+        assert!(w
+            .call(c, Owner::Party(p), cid, |_: &mut Noop, _| Ok(()))
+            .is_ok());
+        assert_eq!(w.total_gas().calls, 1);
+    }
+
+    #[test]
+    fn same_seed_same_observation_sequence() {
+        let sample = |seed: u64| {
+            let mut w = World::with_network(seed, NetworkModel::synchronous(100));
+            let p = w.add_party();
+            (0..10)
+                .map(|i| w.observation_time(p, Time(i * 10)).ticks())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(5), sample(5));
+        assert_ne!(sample(5), sample(6));
+    }
+}

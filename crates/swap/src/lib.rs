@@ -1,0 +1,23 @@
+//! # xchain-swap
+//!
+//! Baseline: hashed-timelock atomic cross-chain swaps (Section 8 of the paper,
+//! after Herlihy, PODC 2018). In a swap "each party transfers an asset
+//! directly to another party and halts"; the paper's point is that deals are
+//! strictly more expressive — the ticket-brokering example and the auction
+//! cannot be expressed as swaps because Alice starts with nothing to swap.
+//!
+//! The crate provides a hashed-timelock contract ([`htlc::HtlcContract`]),
+//! a two-party swap driver ([`protocol::run_two_party_swap`]), and the
+//! expressiveness check used by the comparison experiment
+//! ([`limits::expressible_as_swap`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod htlc;
+pub mod limits;
+pub mod protocol;
+
+pub use htlc::{HtlcContract, HtlcState};
+pub use limits::expressible_as_swap;
+pub use protocol::{run_two_party_swap, SwapOutcome, SwapSpec};

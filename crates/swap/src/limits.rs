@@ -1,0 +1,46 @@
+//! Expressiveness limits of swaps vs deals (Section 8).
+//!
+//! "In a cross-chain swap, each party transfers an asset directly to another,
+//! and halts." A deal is expressible as a swap only if every party
+//! relinquishes only assets it owned at the start — no party may forward
+//! assets it acquires during the deal, and nobody may enter with nothing to
+//! swap (like Alice the broker, or the auctioneer returning losing bids).
+
+use xchain_deals::spec::DealSpec;
+
+/// True if the deal could be expressed as an atomic cross-chain swap: every
+/// transfer's sender escrows (initially owns) everything it sends, so no
+/// transfer depends on an asset acquired within the deal.
+pub fn expressible_as_swap(spec: &DealSpec) -> bool {
+    spec.parties.iter().all(|&p| {
+        let escrowed = spec
+            .escrows_of(p)
+            .iter()
+            .fold(xchain_sim::asset::AssetBag::new(), |mut bag, e| {
+                bag.add(&e.asset);
+                bag
+            });
+        escrowed.covers(&spec.outgoing_of(p))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xchain_deals::builders::{auction_spec, broker_spec, ring_spec};
+    use xchain_sim::ids::DealId;
+
+    #[test]
+    fn broker_and_auction_deals_are_not_swaps() {
+        // Alice relinquishes tickets and coins she never owned at the start.
+        assert!(!expressible_as_swap(&broker_spec()));
+        // The auctioneer returns losing bids it did not own at the start.
+        assert!(!expressible_as_swap(&auction_spec(DealId(2), &[10, 20])));
+    }
+
+    #[test]
+    fn ring_deals_are_swaps() {
+        // Every ring party escrows exactly what it sends.
+        assert!(expressible_as_swap(&ring_spec(DealId(3), 4)));
+    }
+}

@@ -1,0 +1,48 @@
+//! Integration tests: exhaustive adversarial sweeps across both protocols.
+
+use xchain_deals::cbc::{run_cbc, CbcOptions};
+use xchain_deals::properties::{check_conservation, check_safety, check_weak_liveness};
+use xchain_deals::setup::world_for_spec;
+use xchain_deals::timelock::{run_timelock, TimelockOptions};
+use xchain_harness::adversary::{all_but_one_deviate, single_deviator_configs};
+use xchain_harness::workload::{broker_spec, ring_spec};
+use xchain_sim::ids::DealId;
+use xchain_sim::network::NetworkModel;
+
+const DELTA: u64 = 100;
+
+#[test]
+fn single_deviator_sweep_holds_all_properties_for_both_protocols() {
+    for spec in [broker_spec(), ring_spec(DealId(11), 4)] {
+        for (i, configs) in single_deviator_configs(&spec, DELTA).into_iter().enumerate() {
+            let mut world = world_for_spec(&spec, NetworkModel::synchronous(DELTA), i as u64).unwrap();
+            let tl = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
+            assert!(check_safety(&spec, &configs, &tl.outcome).holds(), "timelock {configs:?}");
+            assert!(check_weak_liveness(&spec, &configs, &tl.outcome), "timelock {configs:?}");
+            assert!(check_conservation(&spec, &tl.outcome), "timelock {configs:?}");
+
+            let mut world = world_for_spec(&spec, NetworkModel::synchronous(DELTA), 1000 + i as u64).unwrap();
+            let cbc = run_cbc(&mut world, &spec, &configs, &CbcOptions::default()).unwrap();
+            assert!(check_safety(&spec, &configs, &cbc.outcome).holds(), "cbc {configs:?}");
+            assert!(check_weak_liveness(&spec, &configs, &cbc.outcome), "cbc {configs:?}");
+            assert!(check_conservation(&spec, &cbc.outcome), "cbc {configs:?}");
+        }
+    }
+}
+
+#[test]
+fn lone_honest_party_survives_everyone_else_deviating() {
+    let spec = broker_spec();
+    for &honest in &spec.parties {
+        for (i, configs) in all_but_one_deviate(&spec, honest, DELTA).into_iter().enumerate() {
+            let mut world = world_for_spec(&spec, NetworkModel::synchronous(DELTA), 7 + i as u64).unwrap();
+            let tl = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
+            let report = check_safety(&spec, &configs, &tl.outcome);
+            assert!(report.holds(), "timelock honest={honest} {configs:?}: {:?}", report.violations);
+
+            let mut world = world_for_spec(&spec, NetworkModel::synchronous(DELTA), 99 + i as u64).unwrap();
+            let cbc = run_cbc(&mut world, &spec, &configs, &CbcOptions::default()).unwrap();
+            assert!(check_safety(&spec, &configs, &cbc.outcome).holds(), "cbc honest={honest} {configs:?}");
+        }
+    }
+}

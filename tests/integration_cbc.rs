@@ -1,0 +1,123 @@
+//! Integration tests: the CBC commit protocol end-to-end.
+
+use xchain_deals::builders::{auction_spec, broker_spec, ring_spec};
+use xchain_deals::cbc::{run_cbc, CbcOptions};
+use xchain_deals::party::{Deviation, PartyConfig};
+use xchain_deals::phases::Phase;
+use xchain_deals::properties::{check_safety, check_strong_liveness, check_weak_liveness};
+use xchain_deals::setup::world_for_spec;
+use xchain_sim::ids::{DealId, Owner, PartyId};
+use xchain_sim::network::NetworkModel;
+
+#[test]
+fn broker_deal_commits_under_cbc() {
+    let spec = broker_spec();
+    let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), 1).unwrap();
+    let run = run_cbc(&mut world, &spec, &[], &CbcOptions::default()).unwrap();
+    assert!(run.status.is_committed());
+    assert!(run.outcome.committed_everywhere());
+    assert!(check_strong_liveness(&spec, &[], &run.outcome));
+}
+
+#[test]
+fn cbc_commits_or_aborts_everywhere_never_mixed() {
+    // The key CBC guarantee the timelock protocol lacks: the deal either
+    // commits everywhere or aborts everywhere, for any single deviator.
+    let spec = ring_spec(DealId(2), 4);
+    let deviations = [
+        Deviation::RefuseEscrow,
+        Deviation::SkipTransfers,
+        Deviation::WithholdVote,
+        Deviation::VoteAbort,
+        Deviation::RejectValidation,
+        Deviation::CrashAfter(Phase::Transfer),
+    ];
+    for &p in &spec.parties {
+        for d in deviations {
+            let configs = vec![PartyConfig::deviating(p, d)];
+            let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), 7).unwrap();
+            let run = run_cbc(&mut world, &spec, &configs, &CbcOptions::default()).unwrap();
+            assert!(
+                run.outcome.committed_everywhere() || run.outcome.aborted_everywhere(),
+                "mixed outcome for {p} with {d:?}"
+            );
+            assert!(check_safety(&spec, &configs, &run.outcome).holds());
+            assert!(check_weak_liveness(&spec, &configs, &run.outcome));
+        }
+    }
+}
+
+#[test]
+fn cbc_works_during_asynchrony_before_gst() {
+    let spec = auction_spec(DealId(3), &[40, 70, 55]);
+    let network = NetworkModel::eventually_synchronous(10_000_000, 100, 5_000);
+    let mut world = world_for_spec(&spec, network, 4).unwrap();
+    let run = run_cbc(&mut world, &spec, &[], &CbcOptions { f: 2, ..CbcOptions::default() }).unwrap();
+    assert!(run.outcome.committed_everywhere());
+    assert!(check_safety(&spec, &[], &run.outcome).holds());
+}
+
+#[test]
+fn auction_winner_gets_ticket_and_losers_are_refunded() {
+    let spec = auction_spec(DealId(4), &[80, 95]);
+    let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), 5).unwrap();
+    let run = run_cbc(&mut world, &spec, &[], &CbcOptions::default()).unwrap();
+    assert!(run.outcome.committed_everywhere());
+    assert_eq!(world.holdings(Owner::Party(PartyId(0))).balance(&"coin".into()), 95);
+    assert_eq!(world.holdings(Owner::Party(PartyId(1))).balance(&"coin".into()), 80);
+    assert!(world
+        .holdings(Owner::Party(PartyId(2)))
+        .contains(&xchain_sim::asset::Asset::non_fungible("ticket", [1])));
+}
+
+#[test]
+fn block_proof_resolution_matches_certificate_resolution() {
+    let spec = broker_spec();
+    let mut w1 = world_for_spec(&spec, NetworkModel::synchronous(100), 6).unwrap();
+    let with_cert = run_cbc(&mut w1, &spec, &[], &CbcOptions::default()).unwrap();
+    let mut w2 = world_for_spec(&spec, NetworkModel::synchronous(100), 6).unwrap();
+    let with_proof = run_cbc(
+        &mut w2,
+        &spec,
+        &[],
+        &CbcOptions { use_block_proofs: true, ..CbcOptions::default() },
+    )
+    .unwrap();
+    assert_eq!(
+        with_cert.outcome.committed_everywhere(),
+        with_proof.outcome.committed_everywhere()
+    );
+    // Same resolution, higher verification cost.
+    assert!(
+        with_proof.outcome.metrics.gas(Phase::Commit).sig_verifications
+            > with_cert.outcome.metrics.gas(Phase::Commit).sig_verifications
+    );
+}
+
+#[test]
+fn censorship_can_only_abort_never_steal() {
+    let spec = broker_spec();
+    for censored in [PartyId(0), PartyId(1), PartyId(2)] {
+        let opts = CbcOptions { censored_parties: vec![censored], ..CbcOptions::default() };
+        let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), 8).unwrap();
+        let run = run_cbc(&mut world, &spec, &[], &opts).unwrap();
+        assert!(run.outcome.aborted_everywhere(), "censoring {censored}");
+        assert!(check_safety(&spec, &[], &run.outcome).holds());
+    }
+}
+
+#[test]
+fn higher_f_costs_more_commit_gas() {
+    let spec = broker_spec();
+    let mut sigs = Vec::new();
+    for f in [1usize, 3, 5] {
+        let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), 9).unwrap();
+        let run = run_cbc(&mut world, &spec, &[], &CbcOptions { f, ..CbcOptions::default() }).unwrap();
+        assert!(run.outcome.committed_everywhere());
+        sigs.push(run.outcome.metrics.gas(Phase::Commit).sig_verifications);
+    }
+    assert!(sigs[0] < sigs[1] && sigs[1] < sigs[2], "{sigs:?}");
+    // Exactly m * (2f+1): 2 assets.
+    assert_eq!(sigs[0], 2 * 3);
+    assert_eq!(sigs[2], 2 * 11);
+}

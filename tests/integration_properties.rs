@@ -1,0 +1,118 @@
+//! Property-based integration tests: randomly generated well-formed deals,
+//! random deviation assignments and random network seeds must never violate
+//! safety, weak liveness, or asset conservation.
+
+use proptest::prelude::*;
+use xchain_deals::cbc::{run_cbc, CbcOptions};
+use xchain_deals::party::{Deviation, PartyConfig};
+use xchain_deals::phases::Phase;
+use xchain_deals::properties::{
+    check_conservation, check_safety, check_strong_liveness, check_weak_liveness,
+};
+use xchain_deals::setup::world_for_spec;
+use xchain_deals::timelock::{run_timelock, TimelockOptions};
+use xchain_harness::workload::{random_well_formed_deal, RandomDealParams};
+use xchain_sim::ids::{DealId, PartyId};
+use xchain_sim::network::NetworkModel;
+
+fn deviation_strategy() -> impl Strategy<Value = Deviation> {
+    prop_oneof![
+        Just(Deviation::None),
+        Just(Deviation::RefuseEscrow),
+        Just(Deviation::SkipTransfers),
+        Just(Deviation::WithholdVote),
+        Just(Deviation::NeverForward),
+        Just(Deviation::VoteAbort),
+        Just(Deviation::RejectValidation),
+        Just(Deviation::CrashAfter(Phase::Escrow)),
+        Just(Deviation::CrashAfter(Phase::Transfer)),
+        Just(Deviation::CrashAfter(Phase::Validation)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn timelock_safety_holds_for_random_deals_and_deviations(
+        parties in 2u32..6,
+        extra in 0u32..3,
+        seed in 0u64..10_000,
+        deviations in proptest::collection::vec(deviation_strategy(), 0..6),
+    ) {
+        let spec = random_well_formed_deal(
+            DealId(seed),
+            &RandomDealParams { parties, extra_transfers: extra, amount: 60 },
+            seed,
+        );
+        let configs: Vec<PartyConfig> = deviations
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (*i as u32) < parties)
+            .map(|(i, d)| PartyConfig { id: PartyId(i as u32), deviation: *d })
+            .collect();
+        let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), seed).unwrap();
+        let run = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
+        let report = check_safety(&spec, &configs, &run.outcome);
+        prop_assert!(report.holds(), "violations: {:?}", report.violations);
+        prop_assert!(check_weak_liveness(&spec, &configs, &run.outcome));
+        prop_assert!(check_conservation(&spec, &run.outcome));
+    }
+
+    #[test]
+    fn cbc_safety_and_atomicity_hold_for_random_deals_and_deviations(
+        parties in 2u32..6,
+        extra in 0u32..3,
+        seed in 0u64..10_000,
+        f in 1usize..4,
+        deviations in proptest::collection::vec(deviation_strategy(), 0..6),
+    ) {
+        let spec = random_well_formed_deal(
+            DealId(seed),
+            &RandomDealParams { parties, extra_transfers: extra, amount: 60 },
+            seed,
+        );
+        let configs: Vec<PartyConfig> = deviations
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (*i as u32) < parties)
+            .map(|(i, d)| PartyConfig { id: PartyId(i as u32), deviation: *d })
+            .collect();
+        let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), seed).unwrap();
+        let run = run_cbc(&mut world, &spec, &configs, &CbcOptions { f, ..CbcOptions::default() }).unwrap();
+        prop_assert!(check_safety(&spec, &configs, &run.outcome).holds());
+        prop_assert!(check_weak_liveness(&spec, &configs, &run.outcome));
+        prop_assert!(check_conservation(&spec, &run.outcome));
+        // CBC atomicity: there is never a mixed outcome where one chain
+        // commits and another aborts. (If every party deviates by walking
+        // away, the deal may simply remain undecided — nobody is harmed.)
+        let any_committed = run
+            .outcome
+            .resolutions
+            .values()
+            .any(|r| *r == xchain_deals::outcome::ChainResolution::Committed);
+        let any_aborted = run
+            .outcome
+            .resolutions
+            .values()
+            .any(|r| *r == xchain_deals::outcome::ChainResolution::Aborted);
+        prop_assert!(!(any_committed && any_aborted));
+    }
+
+    #[test]
+    fn all_compliant_random_deals_always_commit(
+        parties in 2u32..7,
+        extra in 0u32..4,
+        seed in 0u64..10_000,
+    ) {
+        let spec = random_well_formed_deal(
+            DealId(seed),
+            &RandomDealParams { parties, extra_transfers: extra, amount: 80 },
+            seed,
+        );
+        let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), seed).unwrap();
+        let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
+        prop_assert!(run.outcome.committed_everywhere());
+        prop_assert!(check_strong_liveness(&spec, &[], &run.outcome));
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration tests: the timelock commit protocol end-to-end across the
+//! simulator, contracts and deal engine crates.
+
+use xchain_deals::builders::{broker_spec, brokered_chain_spec, ring_spec};
+use xchain_deals::party::{Deviation, PartyConfig};
+use xchain_deals::phases::Phase;
+use xchain_deals::properties::{check_safety, check_strong_liveness, check_weak_liveness};
+use xchain_deals::setup::world_for_spec;
+use xchain_deals::timelock::{run_timelock, TimelockOptions};
+use xchain_sim::asset::Asset;
+use xchain_sim::ids::{DealId, Owner, PartyId};
+use xchain_sim::network::NetworkModel;
+use xchain_sim::time::Duration;
+
+const DELTA: u64 = 100;
+
+fn net() -> NetworkModel {
+    NetworkModel::synchronous(DELTA)
+}
+
+#[test]
+fn broker_deal_commits_and_routes_assets_correctly() {
+    let spec = broker_spec();
+    let mut world = world_for_spec(&spec, net(), 1).unwrap();
+    let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
+    assert!(run.outcome.committed_everywhere());
+    assert!(check_strong_liveness(&spec, &[], &run.outcome));
+    // Alice nets exactly her 1-coin commission.
+    assert_eq!(world.holdings(Owner::Party(PartyId(0))).balance(&"coin".into()), 1);
+    assert!(world
+        .holdings(Owner::Party(PartyId(2)))
+        .contains(&Asset::non_fungible("ticket", [1, 2])));
+}
+
+#[test]
+fn rings_of_many_parties_commit() {
+    for n in [2u32, 4, 8, 12] {
+        let spec = ring_spec(DealId(n as u64), n);
+        let mut world = world_for_spec(&spec, net(), n as u64).unwrap();
+        let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
+        assert!(run.outcome.committed_everywhere(), "ring n={n}");
+        assert!(check_strong_liveness(&spec, &[], &run.outcome), "ring n={n}");
+    }
+}
+
+#[test]
+fn every_single_deviator_scenario_is_safe() {
+    let spec = broker_spec();
+    let deviations = [
+        Deviation::RefuseEscrow,
+        Deviation::SkipTransfers,
+        Deviation::WithholdVote,
+        Deviation::NeverForward,
+        Deviation::RejectValidation,
+        Deviation::CrashAfter(Phase::Escrow),
+        Deviation::CrashAfter(Phase::Transfer),
+        Deviation::CrashAfter(Phase::Validation),
+    ];
+    for &p in &spec.parties {
+        for (i, d) in deviations.iter().enumerate() {
+            let configs = vec![PartyConfig::deviating(p, *d)];
+            let mut world = world_for_spec(&spec, net(), 50 + i as u64).unwrap();
+            let run = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
+            let report = check_safety(&spec, &configs, &run.outcome);
+            assert!(report.holds(), "party {p} deviation {d:?}: {:?}", report.violations);
+            assert!(check_weak_liveness(&spec, &configs, &run.outcome), "party {p} deviation {d:?}");
+        }
+    }
+}
+
+#[test]
+fn never_forward_deviator_harms_only_itself() {
+    // In a ring, party i+1 is the only party positioned to forward votes to
+    // chain i. If it refuses, that chain times out while the others commit —
+    // the timelock protocol does not guarantee commit-everywhere — but every
+    // compliant party is still safe and nothing stays locked up; only the
+    // deviator can end up worse off.
+    let spec = ring_spec(DealId(5), 5);
+    let configs = vec![PartyConfig::deviating(PartyId(2), Deviation::NeverForward)];
+    let mut world = world_for_spec(&spec, net(), 3).unwrap();
+    let run = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
+    assert!(run.outcome.fully_resolved());
+    let report = check_safety(&spec, &configs, &run.outcome);
+    assert!(report.holds(), "{:?}", report.violations);
+    assert!(check_weak_liveness(&spec, &configs, &run.outcome));
+
+    // With altruistic broadcast the same deviation cannot even prevent commit,
+    // because votes no longer rely on forwarding at all.
+    let opts = TimelockOptions { altruistic_broadcast: true, ..TimelockOptions::default() };
+    let mut world = world_for_spec(&spec, net(), 3).unwrap();
+    let run = run_timelock(&mut world, &spec, &configs, &opts).unwrap();
+    assert!(run.outcome.committed_everywhere());
+}
+
+#[test]
+fn offline_compliant_party_is_protected_by_timeouts() {
+    // Carol goes offline for the entire run: the deal cannot gather her vote,
+    // times out, and refunds everyone.
+    let spec = broker_spec();
+    let configs = vec![PartyConfig::deviating(
+        PartyId(2),
+        Deviation::OfflineDuring {
+            from: xchain_sim::time::Time(0),
+            until: xchain_sim::time::Time(1_000_000),
+        },
+    )];
+    let mut world = world_for_spec(&spec, net(), 4).unwrap();
+    let run = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
+    assert!(run.outcome.aborted_everywhere());
+    assert!(check_safety(&spec, &configs, &run.outcome).holds());
+    assert_eq!(world.holdings(Owner::Party(PartyId(2))).balance(&"coin".into()), 101);
+}
+
+#[test]
+fn commit_gas_grows_quadratically_in_parties_for_fixed_assets() {
+    // Figure 4: O(m n^2) signature verifications in the worst case. With the
+    // brokered-chain workload (m = n-1), per-asset verification counts grow
+    // with n.
+    let mut per_asset = Vec::new();
+    for n in [4u32, 8] {
+        let spec = brokered_chain_spec(DealId(n as u64), n, 50);
+        let mut world = world_for_spec(&spec, net(), 9).unwrap();
+        let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
+        assert!(run.outcome.committed_everywhere());
+        let sigs = run.outcome.metrics.gas(Phase::Commit).sig_verifications;
+        per_asset.push(sigs as f64 / spec.n_assets() as f64);
+    }
+    assert!(per_asset[1] > per_asset[0] * 1.5, "{per_asset:?}");
+}
+
+#[test]
+fn larger_delta_only_changes_timeouts_not_gas() {
+    let spec = broker_spec();
+    let small = TimelockOptions { delta: Duration(50), ..TimelockOptions::default() };
+    let large = TimelockOptions { delta: Duration(500), ..TimelockOptions::default() };
+    let mut w1 = world_for_spec(&spec, NetworkModel::synchronous(50), 6).unwrap();
+    let r1 = run_timelock(&mut w1, &spec, &[], &small).unwrap();
+    let mut w2 = world_for_spec(&spec, NetworkModel::synchronous(500), 6).unwrap();
+    let r2 = run_timelock(&mut w2, &spec, &[], &large).unwrap();
+    assert!(r1.outcome.committed_everywhere() && r2.outcome.committed_everywhere());
+    assert_eq!(r1.outcome.metrics.total_gas(), r2.outcome.metrics.total_gas());
+}

@@ -1,46 +1,35 @@
-//! Criterion benchmark regenerating Figure 7 (delays): ring deals of varying
-//! size under the delay-relevant protocol options.
+//! Benchmark regenerating Figure 7 (delays): ring deals of varying size
+//! under the delay-relevant protocol options, through the `Deal` builder.
+//!
+//! Run with: `cargo bench -p xchain-bench --bench delays`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xchain_bench::bench;
 use xchain_deals::builders::ring_spec;
-use xchain_deals::cbc::{run_cbc, CbcOptions};
-use xchain_deals::setup::world_for_spec;
-use xchain_deals::timelock::{run_timelock, TimelockOptions};
+use xchain_deals::timelock::TimelockOptions;
+use xchain_deals::{Deal, Protocol};
 use xchain_sim::ids::DealId;
 use xchain_sim::network::NetworkModel;
 use xchain_sim::time::Duration;
 
-fn bench_fig7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_delays");
-    group.sample_size(10);
+fn main() {
+    println!("fig7_delays");
     for n in [3u32, 6, 9] {
-        let spec = ring_spec(DealId(n as u64), n);
-        group.bench_with_input(BenchmarkId::new("timelock_forwarded", n), &spec, |b, spec| {
-            b.iter(|| {
-                let mut world = world_for_spec(spec, NetworkModel::synchronous(100), 2).unwrap();
-                run_timelock(&mut world, spec, &[], &TimelockOptions::default()).unwrap()
-            })
+        let deal = Deal::new(ring_spec(DealId(n as u64), n))
+            .network(NetworkModel::synchronous(100))
+            .seed(2);
+        bench(&format!("fig7_delays/timelock_forwarded/{n}"), 30, || {
+            deal.run(Protocol::timelock()).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("timelock_broadcast", n), &spec, |b, spec| {
-            b.iter(|| {
-                let mut world = world_for_spec(spec, NetworkModel::synchronous(100), 2).unwrap();
-                let opts = TimelockOptions {
-                    altruistic_broadcast: true,
-                    concurrent_transfers: true,
-                    delta: Duration(100),
-                };
-                run_timelock(&mut world, spec, &[], &opts).unwrap()
-            })
+        bench(&format!("fig7_delays/timelock_broadcast/{n}"), 30, || {
+            deal.run(Protocol::Timelock(TimelockOptions {
+                altruistic_broadcast: true,
+                concurrent_transfers: true,
+                delta: Duration(100),
+            }))
+            .unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("cbc", n), &spec, |b, spec| {
-            b.iter(|| {
-                let mut world = world_for_spec(spec, NetworkModel::synchronous(100), 2).unwrap();
-                run_cbc(&mut world, spec, &[], &CbcOptions::default()).unwrap()
-            })
+        bench(&format!("fig7_delays/cbc/{n}"), 30, || {
+            deal.run(Protocol::cbc()).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);

@@ -1,35 +1,30 @@
-//! Criterion benchmark regenerating Figure 4 (gas costs): full deal executions
-//! under both protocols across deal sizes, reporting wall-clock time of the
-//! simulation while the harness records the gas tables.
+//! Benchmark regenerating Figure 4 (gas costs): full deal executions under
+//! both protocols across deal sizes, through the unified `Deal` builder.
+//!
+//! Run with: `cargo bench -p xchain-bench --bench gas_costs`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xchain_bench::bench;
 use xchain_deals::builders::brokered_chain_spec;
-use xchain_deals::cbc::{run_cbc, CbcOptions};
-use xchain_deals::setup::world_for_spec;
-use xchain_deals::timelock::{run_timelock, TimelockOptions};
+use xchain_deals::cbc::CbcOptions;
+use xchain_deals::{Deal, Protocol};
 use xchain_sim::ids::DealId;
 use xchain_sim::network::NetworkModel;
 
-fn bench_fig4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_gas");
-    group.sample_size(10);
+fn main() {
+    println!("fig4_gas");
     for n in [3u32, 6, 9] {
-        let spec = brokered_chain_spec(DealId(n as u64), n, 100);
-        group.bench_with_input(BenchmarkId::new("timelock", n), &spec, |b, spec| {
-            b.iter(|| {
-                let mut world = world_for_spec(spec, NetworkModel::synchronous(100), 1).unwrap();
-                run_timelock(&mut world, spec, &[], &TimelockOptions::default()).unwrap()
-            })
+        let deal = Deal::new(brokered_chain_spec(DealId(n as u64), n, 100))
+            .network(NetworkModel::synchronous(100))
+            .seed(1);
+        bench(&format!("fig4_gas/timelock/{n}"), 50, || {
+            deal.run(Protocol::timelock()).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("cbc_f2", n), &spec, |b, spec| {
-            b.iter(|| {
-                let mut world = world_for_spec(spec, NetworkModel::synchronous(100), 1).unwrap();
-                run_cbc(&mut world, spec, &[], &CbcOptions { f: 2, ..CbcOptions::default() }).unwrap()
-            })
+        bench(&format!("fig4_gas/cbc_f2/{n}"), 50, || {
+            deal.run(Protocol::Cbc(CbcOptions {
+                f: 2,
+                ..CbcOptions::default()
+            }))
+            .unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig4);
-criterion_main!(benches);

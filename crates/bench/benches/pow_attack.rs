@@ -1,29 +1,27 @@
-//! Criterion benchmark for the Section 6.2 proof-of-work private-abort attack
+//! Benchmark for the Section 6.2 proof-of-work private-abort attack
 //! simulation, across attacker hash power and confirmation depth.
+//!
+//! Run with: `cargo bench -p xchain-bench --bench pow_attack`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use xchain_bench::bench;
 use xchain_bft::pow::{attack_success_rate, PowAttackParams};
 
-fn bench_pow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pow_attack");
-    group.sample_size(10);
+fn main() {
+    println!("pow_attack");
     for (alpha, k) in [(0.25f64, 3u64), (0.25, 6), (0.45, 6)] {
-        let id = format!("alpha{:.2}_k{}", alpha, k);
-        group.bench_with_input(BenchmarkId::from_parameter(id), &(alpha, k), |b, &(alpha, k)| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(1);
-                attack_success_rate(
-                    &PowAttackParams { alpha, confirmations: k, max_blocks: 200 },
-                    200,
-                    &mut rng,
-                )
-            })
+        bench(&format!("pow_attack/alpha{alpha:.2}_k{k}"), 10, || {
+            let mut rng = StdRng::seed_from_u64(1);
+            attack_success_rate(
+                &PowAttackParams {
+                    alpha,
+                    confirmations: k,
+                    max_blocks: 200,
+                },
+                200,
+                &mut rng,
+            )
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pow);
-criterion_main!(benches);

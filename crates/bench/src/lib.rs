@@ -1,1 +1,48 @@
-//! Benchmark-only crate; see `benches/`.
+//! Benchmark support for the workspace: a tiny, dependency-free timing
+//! harness used by the `benches/` binaries (the build environment has no
+//! crates.io access, so criterion is unavailable; the benches are plain
+//! `harness = false` executables instead).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` and prints a criterion-style `name ... ns/iter` line.
+///
+/// Runs a few warmup iterations, then measures `iters` iterations in one
+/// block and reports the best of three repetitions to damp scheduler noise.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    for _ in 0..iters.div_ceil(10).max(1) {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        if per_iter < best {
+            best = per_iter;
+        }
+    }
+    println!("{name:<55} {best:>14.0} ns/iter ({iters} iters)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut count = 0u64;
+        bench("smoke", 10, || {
+            count += 1;
+            count
+        });
+        // 1 warmup + 3 × 10 measured iterations.
+        assert_eq!(count, 31);
+    }
+}

@@ -4,14 +4,13 @@
 //! signatures of that payload's hash. A certificate is *final*: unlike a
 //! proof-of-work proof, it cannot be contradicted later (Section 6.2).
 
-use serde::{Deserialize, Serialize};
 use xchain_sim::crypto::{hash_words, Hash, KeyDirectory, Signature};
 use xchain_sim::ids::ValidatorId;
 
 use crate::validator::{validator_party_id, ValidatorSetInfo};
 
 /// A quorum certificate: validator signatures over a payload hash.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Certificate {
     /// The epoch of the validator set that produced the certificate.
     pub epoch: u64,
@@ -95,7 +94,11 @@ impl Certificate {
             seen.push(*vid);
         }
         // only validators vote (line 7)
-        if !self.signatures.iter().all(|(vid, _)| expected.contains(*vid)) {
+        if !self
+            .signatures
+            .iter()
+            .all(|(vid, _)| expected.contains(*vid))
+        {
             return fail(CertFailure::UnknownValidator, 0);
         }
         // enough validators vote (line 8)

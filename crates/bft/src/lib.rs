@@ -28,8 +28,8 @@ pub mod validator;
 pub use certificate::{CertCheck, CertFailure, Certificate};
 pub use log::{CbcError, CbcLog, CbcRecord, CertifiedBlock};
 pub use pow::{
-    analytic_success_probability, attack_success_rate, simulate_attack_trial, Miner, PowAttackParams,
-    PowAttackTrial, PowBlock, PowFork,
+    analytic_success_probability, attack_success_rate, simulate_attack_trial, Miner,
+    PowAttackParams, PowAttackTrial, PowBlock, PowFork,
 };
 pub use proof::{BlockProof, BlockProofCheck, DealStatus, StatusCertificate};
 pub use validator::{validator_party_id, ValidatorSet, ValidatorSetInfo, VALIDATOR_PARTY_OFFSET};

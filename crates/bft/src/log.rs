@@ -13,7 +13,6 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
 use xchain_sim::crypto::{hash_words, Hash};
 use xchain_sim::ids::{DealId, PartyId};
 use xchain_sim::time::Time;
@@ -23,7 +22,7 @@ use crate::proof::{BlockProof, DealStatus, StatusCertificate};
 use crate::validator::{ValidatorSet, ValidatorSetInfo};
 
 /// One record published on the CBC.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CbcRecord {
     /// `startDeal(D, plist)`: records the start of a deal and its participants.
     StartDeal {
@@ -89,7 +88,7 @@ impl CbcRecord {
 }
 
 /// A record together with its position, timestamp, and quorum certificate.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CertifiedBlock {
     /// Position in the log.
     pub index: u64,
@@ -217,7 +216,12 @@ impl CbcLog {
         self.blocks.is_empty()
     }
 
-    fn append(&mut self, time: Time, submitter: Option<PartyId>, record: CbcRecord) -> Result<u64, CbcError> {
+    fn append(
+        &mut self,
+        time: Time,
+        submitter: Option<PartyId>,
+        record: CbcRecord,
+    ) -> Result<u64, CbcError> {
         if let Some(p) = submitter {
             if self.censored.contains(&p) {
                 return Err(CbcError::Censored(p));
@@ -260,9 +264,9 @@ impl CbcLog {
 
     /// The definitive (earliest) startDeal record for a deal, if any.
     pub fn definitive_start(&self, deal: DealId) -> Option<&CertifiedBlock> {
-        self.blocks.iter().find(
-            |b| matches!(&b.record, CbcRecord::StartDeal { deal: d, .. } if *d == deal),
-        )
+        self.blocks
+            .iter()
+            .find(|b| matches!(&b.record, CbcRecord::StartDeal { deal: d, .. } if *d == deal))
     }
 
     fn plist_of(&self, deal: DealId, start_hash: Hash) -> Result<Vec<PartyId>, CbcError> {
@@ -405,18 +409,17 @@ impl CbcLog {
     pub fn block_proof(&self, deal: DealId, start_hash: Hash) -> Result<BlockProof, CbcError> {
         // Ensure the deal exists.
         let _ = self.plist_of(deal, start_hash)?;
-        let blocks = self
-            .blocks
-            .iter()
-            .filter(|b| match &b.record {
-                CbcRecord::StartDeal { deal: d, .. } => *d == deal,
-                CbcRecord::CommitVote { deal: d, .. } | CbcRecord::AbortVote { deal: d, .. } => {
-                    *d == deal
-                }
-                CbcRecord::Reconfigure { .. } => true,
-            })
-            .cloned()
-            .collect();
+        let blocks =
+            self.blocks
+                .iter()
+                .filter(|b| match &b.record {
+                    CbcRecord::StartDeal { deal: d, .. } => *d == deal,
+                    CbcRecord::CommitVote { deal: d, .. }
+                    | CbcRecord::AbortVote { deal: d, .. } => *d == deal,
+                    CbcRecord::Reconfigure { .. } => true,
+                })
+                .cloned()
+                .collect();
         Ok(BlockProof {
             deal,
             start_hash,

@@ -16,11 +16,10 @@
 //! attacker's hash-power share `alpha` and the confirmation depth `k`.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use xchain_sim::crypto::{hash_words, Hash};
 
 /// Who mined a block in the simulated race.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Miner {
     /// The honest majority of the network.
     Honest,
@@ -29,7 +28,7 @@ pub enum Miner {
 }
 
 /// A block in the simulated proof-of-work chain.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PowBlock {
     /// Height above genesis.
     pub height: u64,
@@ -59,10 +58,14 @@ impl PowFork {
     pub fn mine(&mut self, miner: Miner, payload: Vec<u64>) -> &PowBlock {
         let height = self.blocks.len() as u64 + 1;
         let parent = self.tip_hash();
-        let mut words = vec![height, parent.0, match miner {
-            Miner::Honest => 0,
-            Miner::Attacker => 1,
-        }];
+        let mut words = vec![
+            height,
+            parent.0,
+            match miner {
+                Miner::Honest => 0,
+                Miner::Attacker => 1,
+            },
+        ];
         words.extend_from_slice(&payload);
         let hash = hash_words(&words);
         self.blocks.push(PowBlock {
@@ -112,7 +115,7 @@ impl PowFork {
 }
 
 /// Parameters of the private-abort-block attack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowAttackParams {
     /// Attacker's share of total hash power, in (0, 1).
     pub alpha: f64,
@@ -134,7 +137,7 @@ impl Default for PowAttackParams {
 }
 
 /// Outcome of one simulated attack trial.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PowAttackTrial {
     /// Whether the attacker assembled a private proof-of-abort with the
     /// required confirmations before the honest proof-of-commit did.
@@ -173,7 +176,7 @@ pub fn simulate_attack_trial<R: Rng + ?Sized>(
         }
         mined += 1;
         if rng.gen_bool(params.alpha.clamp(0.0, 1.0)) {
-            private.mine(Miner::Attacker, vec![0xAB0_87]);
+            private.mine(Miner::Attacker, vec![0xAB087]);
             if private.len() as u64 >= attacker_goal {
                 return PowAttackTrial {
                     success: true,

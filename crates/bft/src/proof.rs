@@ -12,7 +12,6 @@
 //!   to determine the decisive vote. Much more expensive to verify, which is
 //!   exactly the trade-off the paper describes.
 
-use serde::{Deserialize, Serialize};
 use xchain_sim::crypto::{Hash, KeyDirectory};
 use xchain_sim::ids::{DealId, PartyId};
 use xchain_sim::time::Time;
@@ -22,7 +21,7 @@ use crate::log::{CbcRecord, CertifiedBlock};
 use crate::validator::ValidatorSetInfo;
 
 /// The state of a deal as recorded on the CBC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DealStatus {
     /// Not yet decided: neither a full set of commit votes nor an abort vote.
     Active,
@@ -62,7 +61,7 @@ impl DealStatus {
 
 /// A validator-quorum certificate over the deal's status — the proof form the
 /// CBC manager contract checks in the common case.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatusCertificate {
     /// The deal.
     pub deal: DealId,
@@ -105,7 +104,7 @@ impl StatusCertificate {
 
 /// The straightforward proof: all certified blocks mentioning the deal, plus
 /// reconfiguration blocks, in log order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockProof {
     /// The deal.
     pub deal: DealId,
@@ -168,11 +167,12 @@ impl BlockProof {
             }
 
             match &block.record {
-                CbcRecord::StartDeal { deal, plist: p } => {
-                    if *deal == self.deal && plist.is_none() && block.record.hash() == self.start_hash
-                    {
-                        plist = Some(p.clone());
-                    }
+                CbcRecord::StartDeal { deal, plist: p }
+                    if *deal == self.deal
+                        && plist.is_none()
+                        && block.record.hash() == self.start_hash =>
+                {
+                    plist = Some(p.clone());
                 }
                 CbcRecord::CommitVote {
                     deal,
@@ -194,12 +194,14 @@ impl BlockProof {
                 }
                 CbcRecord::AbortVote {
                     deal, start_hash, ..
-                } if *deal == self.deal && *start_hash == self.start_hash => {
-                    if plist.is_some() && status == DealStatus::Active {
-                        status = DealStatus::Aborted {
-                            decisive_index: block.index,
-                        };
-                    }
+                } if *deal == self.deal
+                    && *start_hash == self.start_hash
+                    && plist.is_some()
+                    && status == DealStatus::Active =>
+                {
+                    status = DealStatus::Aborted {
+                        decisive_index: block.index,
+                    };
                 }
                 CbcRecord::Reconfigure { new_epoch } => {
                     match epoch_infos.iter().find(|i| i.epoch == *new_epoch) {

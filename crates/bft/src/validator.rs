@@ -11,7 +11,6 @@
 //! deal protocols rely on is the externally-checkable certificate structure,
 //! which this module provides.
 
-use serde::{Deserialize, Serialize};
 use xchain_sim::crypto::{KeyDirectory, KeyPair, PublicKey, Signature};
 use xchain_sim::ids::{PartyId, ValidatorId};
 use xchain_sim::ledger::Blockchain;
@@ -41,7 +40,7 @@ pub struct ValidatorSet {
 
 /// The public, externally-checkable description of a validator set: what the
 /// paper passes to escrow contracts "in place of the ellipses" at escrow time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValidatorSetInfo {
     /// The epoch (0 for the initial set; incremented by reconfiguration).
     pub epoch: u64,

@@ -74,7 +74,12 @@ impl CbcManager {
     }
 
     /// Transfer phase: `transfer(D, a, a', Q)`.
-    pub fn transfer(&mut self, ctx: &mut CallCtx<'_>, asset: Asset, to: PartyId) -> ChainResult<()> {
+    pub fn transfer(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        asset: Asset,
+        to: PartyId,
+    ) -> ChainResult<()> {
         self.core.transfer(ctx, asset, to)
     }
 
@@ -88,7 +93,10 @@ impl CbcManager {
         cert: &StatusCertificate,
     ) -> ChainResult<()> {
         ctx.require(self.core.is_active(), "deal already resolved")?;
-        ctx.require(cert.deal == self.info.deal, "certificate is for another deal")?;
+        ctx.require(
+            cert.deal == self.info.deal,
+            "certificate is for another deal",
+        )?;
         ctx.require(
             cert.start_hash == self.info.start_hash,
             "certificate references a different startDeal",
@@ -125,7 +133,10 @@ impl CbcManager {
             };
             // Validator keys are registered on the chain under synthetic ids.
             let registered = ctx.keys().public_key_of(validator_party_id(*vid));
-            ctx.require(registered == Some(pk), "validator key not registered on chain")?;
+            ctx.require(
+                registered == Some(pk),
+                "validator key not registered on chain",
+            )?;
             let ok = ctx.verify_signature(sig, pk, &payload)?;
             ctx.require(ok, "invalid validator signature")?;
         }
@@ -230,19 +241,28 @@ mod tests {
         let bob = fx.info.plist[1];
         let carol = fx.info.plist[2];
         fx.chain
-            .call(Time(0), Owner::Party(carol), fx.contract, |m: &mut CbcManager, ctx| {
-                m.escrow(ctx, Asset::fungible("coin", 101))
-            })
+            .call(
+                Time(0),
+                Owner::Party(carol),
+                fx.contract,
+                |m: &mut CbcManager, ctx| m.escrow(ctx, Asset::fungible("coin", 101)),
+            )
             .unwrap();
         fx.chain
-            .call(Time(1), Owner::Party(carol), fx.contract, |m: &mut CbcManager, ctx| {
-                m.transfer(ctx, Asset::fungible("coin", 101), alice)
-            })
+            .call(
+                Time(1),
+                Owner::Party(carol),
+                fx.contract,
+                |m: &mut CbcManager, ctx| m.transfer(ctx, Asset::fungible("coin", 101), alice),
+            )
             .unwrap();
         fx.chain
-            .call(Time(2), Owner::Party(alice), fx.contract, |m: &mut CbcManager, ctx| {
-                m.transfer(ctx, Asset::fungible("coin", 100), bob)
-            })
+            .call(
+                Time(2),
+                Owner::Party(alice),
+                fx.contract,
+                |m: &mut CbcManager, ctx| m.transfer(ctx, Asset::fungible("coin", 100), bob),
+            )
             .unwrap();
     }
 
@@ -252,7 +272,12 @@ mod tests {
         escrow_and_route_coins(&mut fx);
         for p in 0..3 {
             fx.cbc
-                .vote_commit(Time(10 + p as u64), DealId(9), fx.info.start_hash, PartyId(p))
+                .vote_commit(
+                    Time(10 + p as u64),
+                    DealId(9),
+                    fx.info.start_hash,
+                    PartyId(p),
+                )
                 .unwrap();
         }
         let cert = fx
@@ -261,9 +286,12 @@ mod tests {
             .unwrap();
         let before = fx.chain.gas_usage();
         fx.chain
-            .call(Time(30), Owner::Party(fx.info.plist[1]), fx.contract, |m: &mut CbcManager, ctx| {
-                m.resolve_with_certificate(ctx, &cert)
-            })
+            .call(
+                Time(30),
+                Owner::Party(fx.info.plist[1]),
+                fx.contract,
+                |m: &mut CbcManager, ctx| m.resolve_with_certificate(ctx, &cert),
+            )
             .unwrap();
         let delta = before.delta_to(&fx.chain.gas_usage());
         assert_eq!(delta.sig_verifications, 3); // 2f+1 with f = 1
@@ -293,9 +321,12 @@ mod tests {
             .status_certificate(Time(6), DealId(9), fx.info.start_hash)
             .unwrap();
         fx.chain
-            .call(Time(10), Owner::Party(fx.info.plist[2]), fx.contract, |m: &mut CbcManager, ctx| {
-                m.resolve_with_certificate(ctx, &cert)
-            })
+            .call(
+                Time(10),
+                Owner::Party(fx.info.plist[2]),
+                fx.contract,
+                |m: &mut CbcManager, ctx| m.resolve_with_certificate(ctx, &cert),
+            )
             .unwrap();
         assert_eq!(
             fx.chain
@@ -322,16 +353,24 @@ mod tests {
             .unwrap();
         let err = fx
             .chain
-            .call(Time(10), Owner::Party(fx.info.plist[0]), fx.contract, |m: &mut CbcManager, ctx| {
-                m.resolve_with_certificate(ctx, &cert)
-            })
+            .call(
+                Time(10),
+                Owner::Party(fx.info.plist[0]),
+                fx.contract,
+                |m: &mut CbcManager, ctx| m.resolve_with_certificate(ctx, &cert),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
 
         // A certificate whose status was tampered with fails signature checks.
         for p in 0..3 {
             fx.cbc
-                .vote_commit(Time(10 + p as u64), DealId(9), fx.info.start_hash, PartyId(p))
+                .vote_commit(
+                    Time(10 + p as u64),
+                    DealId(9),
+                    fx.info.start_hash,
+                    PartyId(p),
+                )
                 .unwrap();
         }
         let mut forged = fx
@@ -341,9 +380,12 @@ mod tests {
         forged.status = DealStatus::Aborted { decisive_index: 0 };
         let err = fx
             .chain
-            .call(Time(30), Owner::Party(fx.info.plist[0]), fx.contract, |m: &mut CbcManager, ctx| {
-                m.resolve_with_certificate(ctx, &forged)
-            })
+            .call(
+                Time(30),
+                Owner::Party(fx.info.plist[0]),
+                fx.contract,
+                |m: &mut CbcManager, ctx| m.resolve_with_certificate(ctx, &forged),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
         // Escrow is still active: nothing was paid out.
@@ -373,9 +415,12 @@ mod tests {
             .unwrap();
         let err = fx
             .chain
-            .call(Time(10), Owner::Party(plist[0]), fx.contract, |m: &mut CbcManager, ctx| {
-                m.resolve_with_certificate(ctx, &cert)
-            })
+            .call(
+                Time(10),
+                Owner::Party(plist[0]),
+                fx.contract,
+                |m: &mut CbcManager, ctx| m.resolve_with_certificate(ctx, &cert),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
     }
@@ -386,21 +431,32 @@ mod tests {
         escrow_and_route_coins(&mut fx);
         for p in 0..3 {
             fx.cbc
-                .vote_commit(Time(10 + p as u64), DealId(9), fx.info.start_hash, PartyId(p))
+                .vote_commit(
+                    Time(10 + p as u64),
+                    DealId(9),
+                    fx.info.start_hash,
+                    PartyId(p),
+                )
                 .unwrap();
         }
         let proof = fx.cbc.block_proof(DealId(9), fx.info.start_hash).unwrap();
         let epoch_infos = fx.cbc.epoch_infos().to_vec();
         let before = fx.chain.gas_usage();
         fx.chain
-            .call(Time(30), Owner::Party(fx.info.plist[1]), fx.contract, |m: &mut CbcManager, ctx| {
-                m.resolve_with_block_proof(ctx, &proof, &epoch_infos)
-            })
+            .call(
+                Time(30),
+                Owner::Party(fx.info.plist[1]),
+                fx.contract,
+                |m: &mut CbcManager, ctx| m.resolve_with_block_proof(ctx, &proof, &epoch_infos),
+            )
             .unwrap();
         let delta = before.delta_to(&fx.chain.gas_usage());
         // 4 blocks (startDeal + 3 votes), each certified by 2f+1 = 3 signatures.
         assert_eq!(delta.sig_verifications, 12);
-        assert!(delta.sig_verifications > 3, "block proof costs more than a status certificate");
+        assert!(
+            delta.sig_verifications > 3,
+            "block proof costs more than a status certificate"
+        );
         assert_eq!(
             fx.chain
                 .assets()
@@ -422,18 +478,24 @@ mod tests {
             .status_certificate(Time(6), DealId(9), fx.info.start_hash)
             .unwrap();
         fx.chain
-            .call(Time(10), Owner::Party(fx.info.plist[2]), fx.contract, |m: &mut CbcManager, ctx| {
-                m.resolve_with_certificate(ctx, &abort_cert)
-            })
+            .call(
+                Time(10),
+                Owner::Party(fx.info.plist[2]),
+                fx.contract,
+                |m: &mut CbcManager, ctx| m.resolve_with_certificate(ctx, &abort_cert),
+            )
             .unwrap();
         // … then the deal "commits" later on the CBC (it cannot, since the
         // abort was decisive, but even a committed-looking certificate for the
         // same deal must not re-open the escrow).
         let err = fx
             .chain
-            .call(Time(20), Owner::Party(fx.info.plist[1]), fx.contract, |m: &mut CbcManager, ctx| {
-                m.resolve_with_certificate(ctx, &abort_cert)
-            })
+            .call(
+                Time(20),
+                Owner::Party(fx.info.plist[1]),
+                fx.contract,
+                |m: &mut CbcManager, ctx| m.resolve_with_certificate(ctx, &abort_cert),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
     }

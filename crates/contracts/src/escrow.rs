@@ -129,7 +129,10 @@ impl EscrowCore {
         // C map entry (1 write)
         ctx.charge_storage_write()?;
         self.on_commit.entry(caller).or_default().add(&asset);
-        ctx.emit("escrow", vec![self.deal.0, caller.0 as u64, asset.magnitude()])?;
+        ctx.emit(
+            "escrow",
+            vec![self.deal.0, caller.0 as u64, asset.magnitude()],
+        )?;
         Ok(())
     }
 
@@ -138,7 +141,12 @@ impl EscrowCore {
     ///
     /// Gas: 2 storage writes (decrement sender's C entry, increment the
     /// recipient's — Figure 3 lines 15–16).
-    pub fn transfer(&mut self, ctx: &mut CallCtx<'_>, asset: Asset, to: PartyId) -> ChainResult<()> {
+    pub fn transfer(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        asset: Asset,
+        to: PartyId,
+    ) -> ChainResult<()> {
         let caller = ctx.caller_party()?;
         ctx.require(self.is_active(), "deal already resolved")?;
         ctx.require(self.is_participant(caller), "caller not in plist")?;
@@ -246,7 +254,12 @@ impl EscrowManager {
     }
 
     /// Tentatively transfers an escrowed asset (see [`EscrowCore::transfer`]).
-    pub fn transfer(&mut self, ctx: &mut CallCtx<'_>, asset: Asset, to: PartyId) -> ChainResult<()> {
+    pub fn transfer(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        asset: Asset,
+        to: PartyId,
+    ) -> ChainResult<()> {
         self.core.transfer(ctx, asset, to)
     }
 
@@ -281,7 +294,13 @@ mod tests {
     use xchain_sim::ledger::Blockchain;
     use xchain_sim::time::{Duration, Time};
 
-    fn setup() -> (Blockchain, xchain_sim::ids::ContractId, PartyId, PartyId, PartyId) {
+    fn setup() -> (
+        Blockchain,
+        xchain_sim::ids::ContractId,
+        PartyId,
+        PartyId,
+        PartyId,
+    ) {
         let mut chain = Blockchain::new(ChainId(0), "tickets", Duration(1));
         let bob = PartyId(1);
         let alice = PartyId(0);
@@ -301,9 +320,12 @@ mod tests {
         let (mut chain, id, _alice, bob, _carol) = setup();
         // Bob escrows his tickets: ok.
         chain
-            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.escrow(ctx, Asset::non_fungible("ticket", [1, 2]))
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::non_fungible("ticket", [1, 2])),
+            )
             .unwrap();
         // Escrow contract now owns the tickets.
         assert!(chain
@@ -311,16 +333,22 @@ mod tests {
             .holds(Owner::Contract(id), &Asset::non_fungible("ticket", [1, 2])));
         // A stranger cannot escrow.
         let err = chain
-            .call(Time(0), Owner::Party(PartyId(9)), id, |m: &mut EscrowManager, ctx| {
-                m.escrow(ctx, Asset::fungible("coin", 1))
-            })
+            .call(
+                Time(0),
+                Owner::Party(PartyId(9)),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::fungible("coin", 1)),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
         // Bob cannot escrow tickets he no longer owns.
         let err = chain
-            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.escrow(ctx, Asset::non_fungible("ticket", [1]))
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::non_fungible("ticket", [1])),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::NotTokenOwner { .. }));
     }
@@ -331,17 +359,25 @@ mod tests {
         let (mut chain, id, alice, bob, _carol) = setup();
         let before = chain.gas_usage();
         chain
-            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.escrow(ctx, Asset::non_fungible("ticket", [1, 2]))
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::non_fungible("ticket", [1, 2])),
+            )
             .unwrap();
         let after_escrow = chain.gas_usage();
         assert_eq!(before.delta_to(&after_escrow).storage_writes, 4);
 
         chain
-            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), alice)
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| {
+                    m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), alice)
+                },
+            )
             .unwrap();
         let after_transfer = chain.gas_usage();
         assert_eq!(after_escrow.delta_to(&after_transfer).storage_writes, 2);
@@ -351,19 +387,32 @@ mod tests {
     fn tentative_transfers_update_c_map_only() {
         let (mut chain, id, alice, bob, carol) = setup();
         chain
-            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.escrow(ctx, Asset::non_fungible("ticket", [1, 2]))
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::non_fungible("ticket", [1, 2])),
+            )
             .unwrap();
         chain
-            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), alice)
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| {
+                    m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), alice)
+                },
+            )
             .unwrap();
         chain
-            .call(Time(0), Owner::Party(alice), id, |m: &mut EscrowManager, ctx| {
-                m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), carol)
-            })
+            .call(
+                Time(0),
+                Owner::Party(alice),
+                id,
+                |m: &mut EscrowManager, ctx| {
+                    m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), carol)
+                },
+            )
             .unwrap();
         let (bob_c, carol_c) = chain
             .view(id, |m: &EscrowManager| {
@@ -382,22 +431,31 @@ mod tests {
     fn cannot_transfer_what_you_do_not_tentatively_own() {
         let (mut chain, id, alice, bob, carol) = setup();
         chain
-            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
-                m.escrow(ctx, Asset::fungible("coin", 101))
-            })
+            .call(
+                Time(0),
+                Owner::Party(carol),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::fungible("coin", 101)),
+            )
             .unwrap();
         // Bob has escrowed nothing here; he cannot move Carol's coins.
         let err = chain
-            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.transfer(ctx, Asset::fungible("coin", 50), alice)
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| m.transfer(ctx, Asset::fungible("coin", 50), alice),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
         // Carol cannot over-transfer either.
         let err = chain
-            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
-                m.transfer(ctx, Asset::fungible("coin", 102), alice)
-            })
+            .call(
+                Time(0),
+                Owner::Party(carol),
+                id,
+                |m: &mut EscrowManager, ctx| m.transfer(ctx, Asset::fungible("coin", 102), alice),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
     }
@@ -407,75 +465,126 @@ mod tests {
         // Commit path.
         let (mut chain, id, alice, bob, carol) = setup();
         chain
-            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
-                m.escrow(ctx, Asset::fungible("coin", 101))
-            })
+            .call(
+                Time(0),
+                Owner::Party(carol),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::fungible("coin", 101)),
+            )
             .unwrap();
         chain
-            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
-                m.transfer(ctx, Asset::fungible("coin", 101), alice)
-            })
+            .call(
+                Time(0),
+                Owner::Party(carol),
+                id,
+                |m: &mut EscrowManager, ctx| m.transfer(ctx, Asset::fungible("coin", 101), alice),
+            )
             .unwrap();
         chain
-            .call(Time(0), Owner::Party(alice), id, |m: &mut EscrowManager, ctx| {
-                m.transfer(ctx, Asset::fungible("coin", 100), bob)
-            })
+            .call(
+                Time(0),
+                Owner::Party(alice),
+                id,
+                |m: &mut EscrowManager, ctx| m.transfer(ctx, Asset::fungible("coin", 100), bob),
+            )
             .unwrap();
         chain
-            .call(Time(1), Owner::Party(alice), id, |m: &mut EscrowManager, ctx| {
-                m.force_commit(ctx)
-            })
+            .call(
+                Time(1),
+                Owner::Party(alice),
+                id,
+                |m: &mut EscrowManager, ctx| m.force_commit(ctx),
+            )
             .unwrap();
-        assert_eq!(chain.assets().balance(Owner::Party(bob), &"coin".into()), 100);
-        assert_eq!(chain.assets().balance(Owner::Party(alice), &"coin".into()), 1);
-        assert_eq!(chain.assets().balance(Owner::Party(carol), &"coin".into()), 0);
+        assert_eq!(
+            chain.assets().balance(Owner::Party(bob), &"coin".into()),
+            100
+        );
+        assert_eq!(
+            chain.assets().balance(Owner::Party(alice), &"coin".into()),
+            1
+        );
+        assert_eq!(
+            chain.assets().balance(Owner::Party(carol), &"coin".into()),
+            0
+        );
 
         // Abort path on a fresh chain.
         let (mut chain, id, alice, _bob, carol) = setup();
         chain
-            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
-                m.escrow(ctx, Asset::fungible("coin", 101))
-            })
+            .call(
+                Time(0),
+                Owner::Party(carol),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::fungible("coin", 101)),
+            )
             .unwrap();
         chain
-            .call(Time(0), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
-                m.transfer(ctx, Asset::fungible("coin", 101), alice)
-            })
+            .call(
+                Time(0),
+                Owner::Party(carol),
+                id,
+                |m: &mut EscrowManager, ctx| m.transfer(ctx, Asset::fungible("coin", 101), alice),
+            )
             .unwrap();
         chain
-            .call(Time(1), Owner::Party(carol), id, |m: &mut EscrowManager, ctx| {
-                m.force_abort(ctx)
-            })
+            .call(
+                Time(1),
+                Owner::Party(carol),
+                id,
+                |m: &mut EscrowManager, ctx| m.force_abort(ctx),
+            )
             .unwrap();
         // Despite the tentative transfer, the abort refunds the original owner.
-        assert_eq!(chain.assets().balance(Owner::Party(carol), &"coin".into()), 101);
-        assert_eq!(chain.assets().balance(Owner::Party(alice), &"coin".into()), 0);
+        assert_eq!(
+            chain.assets().balance(Owner::Party(carol), &"coin".into()),
+            101
+        );
+        assert_eq!(
+            chain.assets().balance(Owner::Party(alice), &"coin".into()),
+            0
+        );
     }
 
     #[test]
     fn resolution_is_terminal() {
         let (mut chain, id, _alice, bob, _carol) = setup();
         chain
-            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.escrow(ctx, Asset::non_fungible("ticket", [1]))
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::non_fungible("ticket", [1])),
+            )
             .unwrap();
         chain
-            .call(Time(1), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.force_abort(ctx)
-            })
+            .call(
+                Time(1),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| m.force_abort(ctx),
+            )
             .unwrap();
         // No further escrow, transfer, or second resolution.
         for result in [
-            chain.call(Time(2), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.escrow(ctx, Asset::non_fungible("ticket", [2]))
-            }),
-            chain.call(Time(2), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.force_commit(ctx)
-            }),
-            chain.call(Time(2), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.force_abort(ctx)
-            }),
+            chain.call(
+                Time(2),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::non_fungible("ticket", [2])),
+            ),
+            chain.call(
+                Time(2),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| m.force_commit(ctx),
+            ),
+            chain.call(
+                Time(2),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| m.force_abort(ctx),
+            ),
         ] {
             assert!(matches!(result, Err(ChainError::Require(_))));
         }
@@ -491,9 +600,12 @@ mod tests {
     fn empty_escrow_rejected() {
         let (mut chain, id, _alice, bob, _carol) = setup();
         let err = chain
-            .call(Time(0), Owner::Party(bob), id, |m: &mut EscrowManager, ctx| {
-                m.escrow(ctx, Asset::fungible("coin", 0))
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::fungible("coin", 0)),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
     }

@@ -69,9 +69,17 @@ impl TicketRegistry {
     }
 
     /// Issues a new ticket with the given seat to `to`, returning its token id.
-    pub fn issue(&mut self, ctx: &mut CallCtx<'_>, to: PartyId, seat: Seat) -> ChainResult<TokenId> {
+    pub fn issue(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        to: PartyId,
+        seat: Seat,
+    ) -> ChainResult<TokenId> {
         let caller = ctx.caller_party()?;
-        ctx.require(caller == self.issuer, "only the event organiser can issue tickets")?;
+        ctx.require(
+            caller == self.issuer,
+            "only the event organiser can issue tickets",
+        )?;
         let token = TokenId(self.next_token);
         self.next_token += 1;
         ctx.charge_storage_write()?; // seat metadata
@@ -89,9 +97,12 @@ impl TicketRegistry {
     /// True if every ticket in `tokens` has a grade of at least `min_grade` —
     /// the check a buyer performs during validation.
     pub fn all_at_least(&self, tokens: &[TokenId], min_grade: u8) -> bool {
-        tokens
-            .iter()
-            .all(|t| self.seats.get(t).map(|s| s.grade >= min_grade).unwrap_or(false))
+        tokens.iter().all(|t| {
+            self.seats
+                .get(t)
+                .map(|s| s.grade >= min_grade)
+                .unwrap_or(false)
+        })
     }
 }
 
@@ -121,22 +132,49 @@ mod tests {
         let bob = PartyId(1);
         let id = chain.install(TicketRegistry::new("ticket", "Hit Play", bob));
         let t1 = chain
-            .call(Time(0), Owner::Party(bob), id, |r: &mut TicketRegistry, ctx| {
-                r.issue(ctx, bob, Seat { row: 1, number: 11, grade: 95 })
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                id,
+                |r: &mut TicketRegistry, ctx| {
+                    r.issue(
+                        ctx,
+                        bob,
+                        Seat {
+                            row: 1,
+                            number: 11,
+                            grade: 95,
+                        },
+                    )
+                },
+            )
             .unwrap();
         let t2 = chain
-            .call(Time(0), Owner::Party(bob), id, |r: &mut TicketRegistry, ctx| {
-                r.issue(ctx, bob, Seat { row: 20, number: 4, grade: 40 })
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                id,
+                |r: &mut TicketRegistry, ctx| {
+                    r.issue(
+                        ctx,
+                        bob,
+                        Seat {
+                            row: 20,
+                            number: 4,
+                            grade: 40,
+                        },
+                    )
+                },
+            )
             .unwrap();
         assert_ne!(t1, t2);
-        assert!(chain
-            .assets()
-            .holds(Owner::Party(bob), &Asset::NonFungible {
+        assert!(chain.assets().holds(
+            Owner::Party(bob),
+            &Asset::NonFungible {
                 kind: "ticket".into(),
                 tokens: [t1, t2].into_iter().collect(),
-            }));
+            }
+        ));
         let (good, issued) = chain
             .view(id, |r: &TicketRegistry| {
                 (r.all_at_least(&[t1], 90), r.issued())
@@ -157,9 +195,22 @@ mod tests {
         let mut chain = Blockchain::new(ChainId(0), "tickets", Duration(1));
         let id = chain.install(TicketRegistry::new("ticket", "Hit Play", PartyId(1)));
         let err = chain
-            .call(Time(0), Owner::Party(PartyId(2)), id, |r: &mut TicketRegistry, ctx| {
-                r.issue(ctx, PartyId(2), Seat { row: 1, number: 1, grade: 50 })
-            })
+            .call(
+                Time(0),
+                Owner::Party(PartyId(2)),
+                id,
+                |r: &mut TicketRegistry, ctx| {
+                    r.issue(
+                        ctx,
+                        PartyId(2),
+                        Seat {
+                            row: 1,
+                            number: 1,
+                            grade: 50,
+                        },
+                    )
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
     }

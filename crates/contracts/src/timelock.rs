@@ -97,7 +97,12 @@ impl TimelockManager {
     }
 
     /// Transfer phase: `transfer(D, a, a', Q)`.
-    pub fn transfer(&mut self, ctx: &mut CallCtx<'_>, asset: Asset, to: PartyId) -> ChainResult<()> {
+    pub fn transfer(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        asset: Asset,
+        to: PartyId,
+    ) -> ChainResult<()> {
         self.core.transfer(ctx, asset, to)
     }
 
@@ -118,12 +123,12 @@ impl TimelockManager {
         ctx.require(self.core.is_active(), "deal already resolved")?;
         // Figure 5 line 6: require(now < start + path.length() * DELTA)
         let deadline = self.info.t0 + self.info.delta.times(vote.len() as u64);
-        ctx.require(ctx.now() < deadline, "commit vote arrived after its path timeout")?;
-        // line 7: legit voters only
         ctx.require(
-            self.info.plist.contains(&vote.voter),
-            "voter not in plist",
+            ctx.now() < deadline,
+            "commit vote arrived after its path timeout",
         )?;
+        // line 7: legit voters only
+        ctx.require(self.info.plist.contains(&vote.voter), "voter not in plist")?;
         // line 8: no duplicate votes
         ctx.require(!self.voted.contains(&vote.voter), "duplicate vote")?;
         // line 9: no duplicate signers; signers must be participants
@@ -220,7 +225,10 @@ mod tests {
             })
             .collect();
         chain
-            .mint(Owner::Party(parties[1]), &Asset::non_fungible("ticket", [1, 2]))
+            .mint(
+                Owner::Party(parties[1]),
+                &Asset::non_fungible("ticket", [1, 2]),
+            )
             .unwrap();
         let info = TimelockDealInfo {
             deal: DealId(7),
@@ -242,19 +250,32 @@ mod tests {
         let alice = fx.info.plist[0];
         let carol = fx.info.plist[2];
         fx.chain
-            .call(Time(0), Owner::Party(bob), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.escrow(ctx, Asset::non_fungible("ticket", [1, 2]))
-            })
+            .call(
+                Time(0),
+                Owner::Party(bob),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| m.escrow(ctx, Asset::non_fungible("ticket", [1, 2])),
+            )
             .unwrap();
         fx.chain
-            .call(Time(1), Owner::Party(bob), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), alice)
-            })
+            .call(
+                Time(1),
+                Owner::Party(bob),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| {
+                    m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), alice)
+                },
+            )
             .unwrap();
         fx.chain
-            .call(Time(2), Owner::Party(alice), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), carol)
-            })
+            .call(
+                Time(2),
+                Owner::Party(alice),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| {
+                    m.transfer(ctx, Asset::non_fungible("ticket", [1, 2]), carol)
+                },
+            )
             .unwrap();
     }
 
@@ -316,7 +337,8 @@ mod tests {
         let carol = fx.info.plist[2];
         let msg = fx.info.vote_message(bob);
         // Bob's vote forwarded by Carol: |p| = 2, deadline t0 + 2∆.
-        let vote = PathSignature::direct(bob, &fx.keys[1], &msg).forwarded_by(carol, &fx.keys[2], &msg);
+        let vote =
+            PathSignature::direct(bob, &fx.keys[1], &msg).forwarded_by(carol, &fx.keys[2], &msg);
         fx.chain
             .call(
                 Time(T0 + DELTA + 10),
@@ -358,9 +380,12 @@ mod tests {
         };
         let err = fx
             .chain
-            .call(Time(T0 + 10), Owner::Party(alice), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.commit(ctx, &forged)
-            })
+            .call(
+                Time(T0 + 10),
+                Owner::Party(alice),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| m.commit(ctx, &forged),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
 
@@ -371,9 +396,12 @@ mod tests {
         };
         let err = fx
             .chain
-            .call(Time(T0 + 10), Owner::Party(bob), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.commit(ctx, &wrong_msg)
-            })
+            .call(
+                Time(T0 + 10),
+                Owner::Party(bob),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| m.commit(ctx, &wrong_msg),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
 
@@ -383,9 +411,12 @@ mod tests {
         let v = PathSignature::direct(outsider, &kp9, &fx.info.vote_message(outsider));
         let err = fx
             .chain
-            .call(Time(T0 + 10), Owner::Party(bob), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.commit(ctx, &v)
-            })
+            .call(
+                Time(T0 + 10),
+                Owner::Party(bob),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| m.commit(ctx, &v),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
     }
@@ -396,15 +427,21 @@ mod tests {
         escrow_and_transfer_to_carol(&mut fx);
         let vote = direct_vote(&fx, 0);
         fx.chain
-            .call(Time(T0 + 5), Owner::Party(fx.info.plist[0]), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.commit(ctx, &vote)
-            })
+            .call(
+                Time(T0 + 5),
+                Owner::Party(fx.info.plist[0]),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| m.commit(ctx, &vote),
+            )
             .unwrap();
         let err = fx
             .chain
-            .call(Time(T0 + 6), Owner::Party(fx.info.plist[0]), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.commit(ctx, &vote)
-            })
+            .call(
+                Time(T0 + 6),
+                Owner::Party(fx.info.plist[0]),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| m.commit(ctx, &vote),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
     }
@@ -417,23 +454,32 @@ mod tests {
         // Only Alice votes; Bob and Carol never do.
         let vote = direct_vote(&fx, 0);
         fx.chain
-            .call(Time(T0 + 5), Owner::Party(fx.info.plist[0]), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.commit(ctx, &vote)
-            })
+            .call(
+                Time(T0 + 5),
+                Owner::Party(fx.info.plist[0]),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| m.commit(ctx, &vote),
+            )
             .unwrap();
         // Too early to refund.
         let err = fx
             .chain
-            .call(Time(T0 + 2 * DELTA), Owner::Party(bob), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.claim_timeout(ctx)
-            })
+            .call(
+                Time(T0 + 2 * DELTA),
+                Owner::Party(bob),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| m.claim_timeout(ctx),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
         // After t0 + N*delta the refund goes through, back to Bob.
         fx.chain
-            .call(Time(T0 + 3 * DELTA), Owner::Party(bob), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.claim_timeout(ctx)
-            })
+            .call(
+                Time(T0 + 3 * DELTA),
+                Owner::Party(bob),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| m.claim_timeout(ctx),
+            )
             .unwrap();
         assert!(fx
             .chain
@@ -454,12 +500,16 @@ mod tests {
         let bob = fx.info.plist[1];
         let carol = fx.info.plist[2];
         let msg = fx.info.vote_message(bob);
-        let vote = PathSignature::direct(bob, &fx.keys[1], &msg).forwarded_by(carol, &fx.keys[2], &msg);
+        let vote =
+            PathSignature::direct(bob, &fx.keys[1], &msg).forwarded_by(carol, &fx.keys[2], &msg);
         let before = fx.chain.gas_usage();
         fx.chain
-            .call(Time(T0 + 50), Owner::Party(carol), fx.contract, |m: &mut TimelockManager, ctx| {
-                m.commit(ctx, &vote)
-            })
+            .call(
+                Time(T0 + 50),
+                Owner::Party(carol),
+                fx.contract,
+                |m: &mut TimelockManager, ctx| m.commit(ctx, &vote),
+            )
             .unwrap();
         let delta = before.delta_to(&fx.chain.gas_usage());
         assert_eq!(delta.sig_verifications, 2); // one per signer on the path

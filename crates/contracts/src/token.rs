@@ -105,16 +105,29 @@ mod tests {
         let carol = PartyId(2);
         let id = chain.install(TokenContract::new("coin", "XCN", issuer));
         chain
-            .call(Time(0), Owner::Party(issuer), id, |t: &mut TokenContract, ctx| {
-                t.mint(ctx, carol, 101)
-            })
+            .call(
+                Time(0),
+                Owner::Party(issuer),
+                id,
+                |t: &mut TokenContract, ctx| t.mint(ctx, carol, 101),
+            )
             .unwrap();
-        assert_eq!(chain.assets().balance(Owner::Party(carol), &"coin".into()), 101);
         assert_eq!(
-            chain.view(id, |t: &TokenContract| t.total_supply()).unwrap(),
+            chain.assets().balance(Owner::Party(carol), &"coin".into()),
             101
         );
-        assert_eq!(chain.view(id, |t: &TokenContract| t.symbol().to_string()).unwrap(), "XCN");
+        assert_eq!(
+            chain
+                .view(id, |t: &TokenContract| t.total_supply())
+                .unwrap(),
+            101
+        );
+        assert_eq!(
+            chain
+                .view(id, |t: &TokenContract| t.symbol().to_string())
+                .unwrap(),
+            "XCN"
+        );
     }
 
     #[test]
@@ -122,15 +135,21 @@ mod tests {
         let mut chain = Blockchain::new(ChainId(0), "coins", Duration(1));
         let id = chain.install(TokenContract::new("coin", "XCN", PartyId(0)));
         let err = chain
-            .call(Time(0), Owner::Party(PartyId(1)), id, |t: &mut TokenContract, ctx| {
-                t.mint(ctx, PartyId(1), 5)
-            })
+            .call(
+                Time(0),
+                Owner::Party(PartyId(1)),
+                id,
+                |t: &mut TokenContract, ctx| t.mint(ctx, PartyId(1), 5),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
         let err = chain
-            .call(Time(0), Owner::Party(PartyId(0)), id, |t: &mut TokenContract, ctx| {
-                t.mint(ctx, PartyId(1), 0)
-            })
+            .call(
+                Time(0),
+                Owner::Party(PartyId(0)),
+                id,
+                |t: &mut TokenContract, ctx| t.mint(ctx, PartyId(1), 0),
+            )
             .unwrap_err();
         assert!(matches!(err, ChainError::Require(_)));
     }

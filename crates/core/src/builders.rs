@@ -181,7 +181,11 @@ pub fn brokered_chain_spec(deal: DealId, n: u32, amount: u64) -> DealSpec {
             chain,
             asset: asset.clone(),
         });
-        let next = if i + 1 < n { PartyId(i + 1) } else { PartyId(1) };
+        let next = if i + 1 < n {
+            PartyId(i + 1)
+        } else {
+            PartyId(1)
+        };
         transfers.push(TransferSpec {
             from: broker,
             to: next,

@@ -20,6 +20,7 @@ use crate::error::DealError;
 use crate::outcome::{ChainResolution, DealOutcome, ProtocolKind};
 use crate::party::{config_of, PartyConfig};
 use crate::phases::{Phase, PhaseMetrics};
+use crate::setup::advance_one_observation;
 use crate::spec::DealSpec;
 use crate::timelock::holdings_by_party;
 use crate::{setup, validation};
@@ -75,7 +76,21 @@ pub struct CbcRun {
 }
 
 /// Runs one deal under the CBC commit protocol.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Deal::new(spec).run(Protocol::Cbc(opts)) from the unified DealEngine API"
+)]
 pub fn run_cbc(
+    world: &mut World,
+    spec: &DealSpec,
+    configs: &[PartyConfig],
+    opts: &CbcOptions,
+) -> Result<CbcRun, DealError> {
+    drive(world, spec, configs, opts)
+}
+
+/// The CBC protocol driver behind [`crate::Protocol::Cbc`].
+pub(crate) fn drive(
     world: &mut World,
     spec: &DealSpec,
     configs: &[PartyConfig],
@@ -142,9 +157,12 @@ pub fn run_cbc(
             continue;
         }
         let contract = contracts[&e.chain];
-        let result = world.call(e.chain, Owner::Party(e.owner), contract, |m: &mut CbcManager, ctx| {
-            m.escrow(ctx, e.asset.clone())
-        });
+        let result = world.call(
+            e.chain,
+            Owner::Party(e.owner),
+            contract,
+            |m: &mut CbcManager, ctx| m.escrow(ctx, e.asset.clone()),
+        );
         match result {
             Ok(()) => {}
             Err(err) if cfg.is_compliant() && !world.is_offline(e.owner, world.now()) => {
@@ -168,9 +186,12 @@ pub fn run_cbc(
         let cfg = config_of(configs, t.from);
         if cfg.will_transfer() {
             let contract = contracts[&t.chain];
-            let _ = world.call(t.chain, Owner::Party(t.from), contract, |m: &mut CbcManager, ctx| {
-                m.transfer(ctx, t.asset.clone(), t.to)
-            });
+            let _ = world.call(
+                t.chain,
+                Owner::Party(t.from),
+                contract,
+                |m: &mut CbcManager, ctx| m.transfer(ctx, t.asset.clone(), t.to),
+            );
         }
         if !opts.concurrent_transfers && step + 1 < order.len() {
             advance_one_observation(world);
@@ -220,7 +241,9 @@ pub fn run_cbc(
 
     // If the deal is still undecided (some party withheld its vote), compliant
     // parties wait out their patience and then rescind by voting abort.
-    let mut status = cbc.deal_status(spec.deal, start_hash).map_err(DealError::Cbc)?;
+    let mut status = cbc
+        .deal_status(spec.deal, start_hash)
+        .map_err(DealError::Cbc)?;
     if matches!(status, DealStatus::Active) {
         world.advance_by(opts.patience);
         for &p in &spec.parties {
@@ -228,12 +251,17 @@ pub fn run_cbc(
             if cfg.is_compliant() && !world.is_offline(p, world.now()) {
                 // Keep trying compliant parties until one abort vote lands
                 // (the first candidate may itself be censored by the CBC).
-                if cbc.vote_abort(world.now(), spec.deal, start_hash, p).is_ok() {
+                if cbc
+                    .vote_abort(world.now(), spec.deal, start_hash, p)
+                    .is_ok()
+                {
                     break;
                 }
             }
         }
-        status = cbc.deal_status(spec.deal, start_hash).map_err(DealError::Cbc)?;
+        status = cbc
+            .deal_status(spec.deal, start_hash)
+            .map_err(DealError::Cbc)?;
     }
 
     // Proof presentation: for each chain, an online party presents the proof
@@ -248,16 +276,22 @@ pub fn run_cbc(
                 let proof = cbc
                     .block_proof(spec.deal, start_hash)
                     .map_err(DealError::Cbc)?;
-                let _ = world.call(chain, Owner::Party(presenter), contract, |m: &mut CbcManager, ctx| {
-                    m.resolve_with_block_proof(ctx, &proof, &epoch_infos)
-                });
+                let _ = world.call(
+                    chain,
+                    Owner::Party(presenter),
+                    contract,
+                    |m: &mut CbcManager, ctx| m.resolve_with_block_proof(ctx, &proof, &epoch_infos),
+                );
             } else {
                 let cert = cbc
                     .status_certificate(world.now(), spec.deal, start_hash)
                     .map_err(DealError::Cbc)?;
-                let _ = world.call(chain, Owner::Party(presenter), contract, |m: &mut CbcManager, ctx| {
-                    m.resolve_with_certificate(ctx, &cert)
-                });
+                let _ = world.call(
+                    chain,
+                    Owner::Party(presenter),
+                    contract,
+                    |m: &mut CbcManager, ctx| m.resolve_with_certificate(ctx, &cert),
+                );
             }
         }
         advance_one_observation(world);
@@ -282,7 +316,9 @@ pub fn run_cbc(
                 Some(xchain_contracts::escrow::EscrowResolution::Committed) => {
                     ChainResolution::Committed
                 }
-                Some(xchain_contracts::escrow::EscrowResolution::Aborted) => ChainResolution::Aborted,
+                Some(xchain_contracts::escrow::EscrowResolution::Aborted) => {
+                    ChainResolution::Aborted
+                }
                 None => ChainResolution::Unresolved,
             },
         );
@@ -304,38 +340,48 @@ pub fn run_cbc(
     })
 }
 
-fn advance_one_observation(world: &mut World) {
-    let now = world.now();
-    let delay = world.network().sample_delay(now, world.rng());
-    world.advance_by(delay);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builders::broker_spec;
+    use crate::deal::{Deal, DealRun};
+    use crate::engine::Protocol;
     use crate::party::Deviation;
-    use crate::setup::world_for_spec;
     use xchain_sim::asset::Asset;
     use xchain_sim::network::NetworkModel;
 
-    fn run_broker(configs: &[PartyConfig], opts: &CbcOptions, network: NetworkModel, seed: u64) -> (World, CbcRun) {
-        let spec = broker_spec();
-        let mut world = world_for_spec(&spec, network, seed).unwrap();
-        let run = run_cbc(&mut world, &spec, configs, opts).unwrap();
-        (world, run)
+    fn run_broker(
+        configs: &[PartyConfig],
+        opts: &CbcOptions,
+        network: NetworkModel,
+        seed: u64,
+    ) -> DealRun {
+        Deal::new(broker_spec())
+            .network(network)
+            .parties(configs)
+            .seed(seed)
+            .run(Protocol::Cbc(opts.clone()))
+            .unwrap()
     }
 
     #[test]
     fn all_compliant_deal_commits_everywhere() {
-        let (world, run) = run_broker(&[], &CbcOptions::default(), NetworkModel::synchronous(100), 1);
+        let run = run_broker(
+            &[],
+            &CbcOptions::default(),
+            NetworkModel::synchronous(100),
+            1,
+        );
         assert!(run.outcome.committed_everywhere());
-        assert!(run.status.is_committed());
-        assert!(world
+        assert!(run.ext.cbc_status().unwrap().is_committed());
+        assert!(run
+            .world
             .holdings(Owner::Party(PartyId(2)))
             .contains(&Asset::non_fungible("ticket", [1, 2])));
         assert_eq!(
-            world.holdings(Owner::Party(PartyId(1))).balance(&"coin".into()),
+            run.world
+                .holdings(Owner::Party(PartyId(1)))
+                .balance(&"coin".into()),
             100
         );
     }
@@ -343,12 +389,19 @@ mod tests {
     #[test]
     fn withheld_vote_leads_to_abort_everywhere() {
         let configs = vec![PartyConfig::deviating(PartyId(1), Deviation::WithholdVote)];
-        let (world, run) = run_broker(&configs, &CbcOptions::default(), NetworkModel::synchronous(100), 2);
+        let run = run_broker(
+            &configs,
+            &CbcOptions::default(),
+            NetworkModel::synchronous(100),
+            2,
+        );
         assert!(run.outcome.aborted_everywhere());
-        assert!(run.status.is_aborted());
+        assert!(run.ext.cbc_status().unwrap().is_aborted());
         // Carol's coins are refunded.
         assert_eq!(
-            world.holdings(Owner::Party(PartyId(2))).balance(&"coin".into()),
+            run.world
+                .holdings(Owner::Party(PartyId(2)))
+                .balance(&"coin".into()),
             101
         );
     }
@@ -356,7 +409,12 @@ mod tests {
     #[test]
     fn explicit_abort_vote_aborts_everywhere() {
         let configs = vec![PartyConfig::deviating(PartyId(2), Deviation::VoteAbort)];
-        let (_, run) = run_broker(&configs, &CbcOptions::default(), NetworkModel::synchronous(100), 3);
+        let run = run_broker(
+            &configs,
+            &CbcOptions::default(),
+            NetworkModel::synchronous(100),
+            3,
+        );
         assert!(run.outcome.aborted_everywhere());
     }
 
@@ -365,21 +423,37 @@ mod tests {
         // Pre-GST delays are long but the CBC protocol does not rely on
         // timeouts for safety: with all parties compliant the deal commits.
         let network = NetworkModel::eventually_synchronous(1_000_000, 100, 5_000);
-        let (_, run) = run_broker(&[], &CbcOptions::default(), network, 4);
+        let run = run_broker(&[], &CbcOptions::default(), network, 4);
         assert!(run.outcome.committed_everywhere());
     }
 
     #[test]
     fn block_proof_path_costs_more_gas_than_certificates() {
-        let (_, run_cert) = run_broker(&[], &CbcOptions::default(), NetworkModel::synchronous(100), 5);
+        let run_cert = run_broker(
+            &[],
+            &CbcOptions::default(),
+            NetworkModel::synchronous(100),
+            5,
+        );
         let opts = CbcOptions {
             use_block_proofs: true,
             ..CbcOptions::default()
         };
-        let (_, run_proof) = run_broker(&[], &opts, NetworkModel::synchronous(100), 5);
-        let cert_sigs = run_cert.outcome.metrics.gas(Phase::Commit).sig_verifications;
-        let proof_sigs = run_proof.outcome.metrics.gas(Phase::Commit).sig_verifications;
-        assert!(proof_sigs > cert_sigs, "{proof_sigs} should exceed {cert_sigs}");
+        let run_proof = run_broker(&[], &opts, NetworkModel::synchronous(100), 5);
+        let cert_sigs = run_cert
+            .outcome
+            .metrics
+            .gas(Phase::Commit)
+            .sig_verifications;
+        let proof_sigs = run_proof
+            .outcome
+            .metrics
+            .gas(Phase::Commit)
+            .sig_verifications;
+        assert!(
+            proof_sigs > cert_sigs,
+            "{proof_sigs} should exceed {cert_sigs}"
+        );
         assert!(run_proof.outcome.committed_everywhere());
     }
 
@@ -391,13 +465,16 @@ mod tests {
             censored_parties: vec![PartyId(1)],
             ..CbcOptions::default()
         };
-        let (world, run) = run_broker(&[], &opts, NetworkModel::synchronous(100), 6);
+        let run = run_broker(&[], &opts, NetworkModel::synchronous(100), 6);
         assert!(run.outcome.aborted_everywhere());
-        assert!(world
+        assert!(run
+            .world
             .holdings(Owner::Party(PartyId(1)))
             .contains(&Asset::non_fungible("ticket", [1, 2])));
         assert_eq!(
-            world.holdings(Owner::Party(PartyId(2))).balance(&"coin".into()),
+            run.world
+                .holdings(Owner::Party(PartyId(2)))
+                .balance(&"coin".into()),
             101
         );
     }
@@ -410,14 +487,24 @@ mod tests {
         use xchain_sim::ids::DealId;
         let mut durations = Vec::new();
         for n in [3u32, 6, 9] {
-            let spec = ring_spec(DealId(n as u64), n);
-            let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), 7).unwrap();
-            let run = run_cbc(&mut world, &spec, &[], &CbcOptions::default()).unwrap();
+            let run = Deal::new(ring_spec(DealId(n as u64), n))
+                .network(NetworkModel::synchronous(100))
+                .seed(7)
+                .run(Protocol::cbc())
+                .unwrap();
             assert!(run.outcome.committed_everywhere());
-            durations.push(run.outcome.metrics.duration(Phase::Commit).in_units_of(Duration(100)));
+            durations.push(
+                run.outcome
+                    .metrics
+                    .duration(Phase::Commit)
+                    .in_units_of(Duration(100)),
+            );
         }
         for d in &durations {
-            assert!(*d <= 3.0 + 1e-9, "CBC commit should be O(1) deltas, got {d}");
+            assert!(
+                *d <= 3.0 + 1e-9,
+                "CBC commit should be O(1) deltas, got {d}"
+            );
         }
     }
 }

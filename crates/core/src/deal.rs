@@ -1,0 +1,222 @@
+//! The fluent deal session builder: the one entry point for executing a deal
+//! under any [`DealEngine`].
+//!
+//! A [`Deal`] bundles everything that used to be hand-threaded through
+//! `world_for_spec` + `run_timelock` / `run_cbc`: the specification, the
+//! network timing model, the parties' behaviour configurations and the world
+//! seed. Calling [`Deal::run`] builds the world (chains, parties, minted
+//! escrow assets) and executes the chosen engine, returning a unified
+//! [`DealRun`].
+//!
+//! ```
+//! use xchain_deals::builders::broker_spec;
+//! use xchain_deals::party::{Deviation, PartyConfig};
+//! use xchain_deals::{Deal, Protocol};
+//! use xchain_sim::ids::PartyId;
+//! use xchain_sim::network::NetworkModel;
+//!
+//! let deal = Deal::new(broker_spec())
+//!     .network(NetworkModel::synchronous(100))
+//!     .parties(&[PartyConfig::deviating(PartyId(2), Deviation::WithholdVote)])
+//!     .seed(42);
+//! let run = deal.run(Protocol::timelock()).unwrap();
+//! assert!(run.outcome.aborted_everywhere());
+//! ```
+
+use std::collections::BTreeMap;
+
+use xchain_sim::ids::{ChainId, ContractId};
+use xchain_sim::network::NetworkModel;
+use xchain_sim::world::World;
+
+use crate::engine::{DealEngine, EngineRun, ProtocolExt};
+use crate::error::DealError;
+use crate::outcome::DealOutcome;
+use crate::party::PartyConfig;
+use crate::setup;
+use crate::spec::DealSpec;
+
+/// A configured deal session: specification + network + behaviours + seed.
+///
+/// The builder is reusable: `run` borrows it, so the same session can be
+/// executed under several engines (as the sweeps in `xchain-harness` do).
+#[derive(Debug, Clone)]
+pub struct Deal {
+    spec: DealSpec,
+    network: NetworkModel,
+    configs: Vec<PartyConfig>,
+    seed: u64,
+}
+
+impl Deal {
+    /// Starts a session for the given specification with a synchronous
+    /// ∆ = 100 network, all parties compliant, and seed 0.
+    pub fn new(spec: DealSpec) -> Self {
+        Deal {
+            spec,
+            network: NetworkModel::default(),
+            configs: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the network timing model the world will use.
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Sets the parties' behaviour configurations (replacing any previously
+    /// set). Parties without a configuration behave compliantly.
+    pub fn parties(mut self, configs: &[PartyConfig]) -> Self {
+        self.configs = configs.to_vec();
+        self
+    }
+
+    /// Adds a single party behaviour configuration.
+    pub fn party(mut self, config: PartyConfig) -> Self {
+        self.configs.push(config);
+        self
+    }
+
+    /// Sets the deterministic world seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The deal specification this session executes.
+    pub fn spec(&self) -> &DealSpec {
+        &self.spec
+    }
+
+    /// The configured party behaviours.
+    pub fn configs(&self) -> &[PartyConfig] {
+        &self.configs
+    }
+
+    /// Builds the world this session would run in: every referenced chain and
+    /// party exists and every escrow owner holds its asset. Exposed for
+    /// callers that need to inspect or enrich the world before running
+    /// ([`Deal::run_in`] executes against a caller-supplied world).
+    pub fn build_world(&self) -> Result<World, DealError> {
+        setup::world_for_spec(&self.spec, self.network, self.seed)
+    }
+
+    /// Builds the world and executes the deal under `engine`, returning the
+    /// unified [`DealRun`].
+    pub fn run<E: DealEngine>(&self, engine: E) -> Result<DealRun, DealError> {
+        if !engine.supports(&self.spec) {
+            return Err(DealError::Config(format!(
+                "the {} engine does not support this deal specification",
+                engine.label()
+            )));
+        }
+        let mut world = self.build_world()?;
+        let run = engine.execute(&mut world, &self.spec, &self.configs)?;
+        Ok(DealRun {
+            world,
+            outcome: run.outcome,
+            contracts: run.contracts,
+            ext: run.ext,
+        })
+    }
+
+    /// Executes the deal in a caller-supplied world (which must already
+    /// contain the referenced chains, parties and escrowed assets). Most
+    /// callers want [`Deal::run`]; this exists for scripted scenarios that
+    /// share one world across several deals.
+    pub fn run_in<E: DealEngine>(
+        &self,
+        world: &mut World,
+        engine: E,
+    ) -> Result<EngineRun, DealError> {
+        if !engine.supports(&self.spec) {
+            return Err(DealError::Config(format!(
+                "the {} engine does not support this deal specification",
+                engine.label()
+            )));
+        }
+        engine.execute(world, &self.spec, &self.configs)
+    }
+}
+
+/// The unified result of a deal session: the world after the run, the
+/// measured protocol-agnostic outcome (resolutions, holdings, per-phase gas
+/// and durations), the escrow contracts, and the protocol-specific extension.
+#[derive(Debug)]
+pub struct DealRun {
+    /// The world after the run (and all timeouts), for post-mortem holdings
+    /// and contract-state inspection.
+    pub world: World,
+    /// The measured outcome: per-chain resolutions, per-party holdings
+    /// before/after, and per-phase gas/duration metrics.
+    pub outcome: DealOutcome,
+    /// The escrow contract installed on each involved chain.
+    pub contracts: BTreeMap<ChainId, ContractId>,
+    /// Protocol-specific evidence (validated map for timelock, certified log
+    /// and status for CBC, swap completion for HTLC).
+    pub ext: ProtocolExt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{broker_spec, ring_spec};
+    use crate::engine::Protocol;
+    use crate::party::{Deviation, PartyConfig};
+    use xchain_sim::asset::Asset;
+    use xchain_sim::ids::{DealId, Owner, PartyId};
+
+    #[test]
+    fn builder_runs_both_protocols_on_one_session() {
+        let deal = Deal::new(broker_spec())
+            .network(NetworkModel::synchronous(100))
+            .seed(42);
+        let tl = deal.run(Protocol::timelock()).unwrap();
+        let cbc = deal.run(Protocol::cbc()).unwrap();
+        assert!(tl.outcome.committed_everywhere());
+        assert!(cbc.outcome.committed_everywhere());
+        // The world travels with the run: Carol holds the tickets either way.
+        for run in [&tl, &cbc] {
+            assert!(run
+                .world
+                .holdings(Owner::Party(PartyId(2)))
+                .contains(&Asset::non_fungible("ticket", [1, 2])));
+        }
+    }
+
+    #[test]
+    fn party_configs_flow_through() {
+        let run = Deal::new(broker_spec())
+            .party(PartyConfig::deviating(PartyId(1), Deviation::WithholdVote))
+            .seed(3)
+            .run(Protocol::timelock())
+            .unwrap();
+        assert!(run.outcome.aborted_everywhere());
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let deal = Deal::new(ring_spec(DealId(5), 5)).seed(9);
+        let a = deal.run(Protocol::timelock()).unwrap();
+        let b = deal.run(Protocol::timelock()).unwrap();
+        assert_eq!(a.outcome.metrics.total_gas(), b.outcome.metrics.total_gas());
+        assert_eq!(
+            a.outcome.metrics.total_duration(),
+            b.outcome.metrics.total_duration()
+        );
+    }
+
+    #[test]
+    fn run_in_uses_the_supplied_world() {
+        let deal = Deal::new(broker_spec()).seed(7);
+        let mut world = deal.build_world().unwrap();
+        let run = deal.run_in(&mut world, Protocol::timelock()).unwrap();
+        assert!(run.outcome.committed_everywhere());
+        // Effects landed in the caller's world.
+        assert!(world
+            .holdings(Owner::Party(PartyId(2)))
+            .contains(&Asset::non_fungible("ticket", [1, 2])));
+    }
+}

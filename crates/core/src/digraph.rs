@@ -25,11 +25,8 @@ impl DealDigraph {
     /// Builds the digraph of a deal specification.
     pub fn from_spec(spec: &DealSpec) -> Self {
         let vertices = spec.parties.clone();
-        let index: BTreeMap<PartyId, usize> = vertices
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (*p, i))
-            .collect();
+        let index: BTreeMap<PartyId, usize> =
+            vertices.iter().enumerate().map(|(i, p)| (*p, i)).collect();
         let mut adjacency = vec![Vec::new(); vertices.len()];
         for t in &spec.transfers {
             let (Some(&from), Some(&to)) = (index.get(&t.from), index.get(&t.to)) else {

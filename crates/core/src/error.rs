@@ -58,6 +58,8 @@ mod tests {
         assert!(e.to_string().contains("chain error"));
         let e: DealError = CbcError::QuorumUnavailable.into();
         assert!(e.to_string().contains("CBC"));
-        assert!(DealError::NotWellFormed.to_string().contains("strongly connected"));
+        assert!(DealError::NotWellFormed
+            .to_string()
+            .contains("strongly connected"));
     }
 }

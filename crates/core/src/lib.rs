@@ -8,39 +8,60 @@
 //! A deal is specified as a transfer matrix ([`spec::DealSpec`], Figure 1),
 //! analysed as a digraph ([`digraph`], Figure 2), and executed in five phases
 //! (clearing, escrow, transfer, validation, commit) over simulated
-//! blockchains. Two protocol engines are provided:
+//! blockchains.
 //!
-//! * [`timelock::run_timelock`] — the fully decentralized timelock commit
-//!   protocol for synchronous networks (Section 5), with path-signature votes
-//!   and `|p| · ∆` timeouts;
-//! * [`cbc::run_cbc`] — the certified-blockchain commit protocol for
-//!   eventually-synchronous networks (Section 6), with validator-certified
-//!   proofs of commit and abort.
+//! ## The unified `DealEngine` API
 //!
-//! Party behaviour — compliant or deviating in a dozen ways — is configured
-//! with [`party::PartyConfig`], and the paper's Properties 1–3 are executable
-//! checks in [`properties`].
+//! Every commit protocol is a [`engine::DealEngine`] — a pluggable strategy
+//! over the same deal graph. The fluent [`deal::Deal`] session builder is the
+//! single entry point: it owns the world setup (chains, parties, minted
+//! escrow assets) and executes any engine, returning a unified
+//! [`deal::DealRun`] carrying the [`outcome::DealOutcome`], the per-chain
+//! escrow contracts, per-phase gas/duration metrics, and a protocol-specific
+//! [`engine::ProtocolExt`] (validated map for timelock, certified log for
+//! CBC, completion flag for the HTLC swap engine in `xchain-swap`).
 //!
 //! ```
 //! use xchain_deals::builders::broker_spec;
-//! use xchain_deals::setup::world_for_spec;
-//! use xchain_deals::timelock::{run_timelock, TimelockOptions};
 //! use xchain_deals::properties::check_safety;
+//! use xchain_deals::{Deal, Protocol};
 //! use xchain_sim::network::NetworkModel;
 //!
-//! let spec = broker_spec();
-//! let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), 42).unwrap();
-//! let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
-//! assert!(run.outcome.committed_everywhere());
-//! assert!(check_safety(&spec, &[], &run.outcome).holds());
+//! let deal = Deal::new(broker_spec())
+//!     .network(NetworkModel::synchronous(100))
+//!     .seed(42);
+//!
+//! // The same session runs under either protocol — or any other engine.
+//! let timelock = deal.run(Protocol::timelock()).unwrap();
+//! let cbc = deal.run(Protocol::cbc()).unwrap();
+//! assert!(timelock.outcome.committed_everywhere());
+//! assert!(cbc.outcome.committed_everywhere());
+//! assert!(check_safety(deal.spec(), &[], &timelock.outcome).holds());
+//! assert!(cbc.ext.cbc_status().unwrap().is_committed());
 //! ```
+//!
+//! The engines behind [`engine::Protocol`]:
+//!
+//! * [`Protocol::Timelock`](engine::Protocol::Timelock) — the fully
+//!   decentralized timelock commit protocol for synchronous networks
+//!   (Section 5), with path-signature votes and `|p| · ∆` timeouts;
+//! * [`Protocol::Cbc`](engine::Protocol::Cbc) — the certified-blockchain
+//!   commit protocol for eventually-synchronous networks (Section 6), with
+//!   validator-certified proofs of commit and abort.
+//!
+//! Party behaviour — compliant or deviating in a dozen ways — is configured
+//! with [`party::PartyConfig`], and the paper's Properties 1–3 are executable
+//! checks in [`properties`]. The legacy free functions
+//! `timelock::run_timelock` and `cbc::run_cbc` remain as deprecated shims.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod builders;
 pub mod cbc;
+pub mod deal;
 pub mod digraph;
+pub mod engine;
 pub mod error;
 pub mod outcome;
 pub mod party;
@@ -51,12 +72,16 @@ pub mod spec;
 pub mod timelock;
 pub mod validation;
 
-pub use cbc::{run_cbc, CbcOptions, CbcRun};
+pub use cbc::{CbcOptions, CbcRun};
+pub use deal::{Deal, DealRun};
 pub use digraph::{is_well_formed, DealDigraph};
+pub use engine::{DealEngine, EngineRun, Protocol, ProtocolExt};
 pub use error::DealError;
 pub use outcome::{ChainResolution, DealOutcome, ProtocolKind};
 pub use party::{config_of, Deviation, PartyConfig};
 pub use phases::{Phase, PhaseMetrics};
-pub use properties::{check_conservation, check_safety, check_strong_liveness, check_weak_liveness, SafetyReport};
+pub use properties::{
+    check_conservation, check_safety, check_strong_liveness, check_weak_liveness, SafetyReport,
+};
 pub use spec::{DealSpec, EscrowSpec, TransferSpec};
-pub use timelock::{run_timelock, TimelockOptions, TimelockRun};
+pub use timelock::{TimelockOptions, TimelockRun};

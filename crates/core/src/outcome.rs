@@ -17,6 +17,8 @@ pub enum ProtocolKind {
     Timelock,
     /// The certified-blockchain commit protocol (Section 6).
     Cbc,
+    /// The two-party HTLC atomic swap baseline (Section 8).
+    Swap,
 }
 
 impl std::fmt::Display for ProtocolKind {
@@ -24,6 +26,7 @@ impl std::fmt::Display for ProtocolKind {
         match self {
             ProtocolKind::Timelock => f.write_str("timelock"),
             ProtocolKind::Cbc => f.write_str("CBC"),
+            ProtocolKind::Swap => f.write_str("HTLC swap"),
         }
     }
 }
@@ -109,7 +112,8 @@ mod tests {
         assert!(o.committed_everywhere());
         assert!(o.fully_resolved());
         assert!(!o.aborted_everywhere());
-        o.resolutions.insert(ChainId(1), ChainResolution::Unresolved);
+        o.resolutions
+            .insert(ChainId(1), ChainResolution::Unresolved);
         assert!(!o.fully_resolved());
         assert!(!o.committed_everywhere());
     }
@@ -118,5 +122,6 @@ mod tests {
     fn protocol_kind_display() {
         assert_eq!(ProtocolKind::Timelock.to_string(), "timelock");
         assert_eq!(ProtocolKind::Cbc.to_string(), "CBC");
+        assert_eq!(ProtocolKind::Swap.to_string(), "HTLC swap");
     }
 }

@@ -8,14 +8,13 @@
 //! never forwarding votes, voting abort, claiming dissatisfaction at
 //! validation, and being driven offline during the commit window.
 
-use serde::{Deserialize, Serialize};
 use xchain_sim::ids::PartyId;
 use xchain_sim::time::Time;
 
 use crate::phases::Phase;
 
 /// How a party deviates from the protocol, if at all.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Deviation {
     /// Follows the protocol exactly.
     None,
@@ -50,7 +49,7 @@ pub enum Deviation {
 }
 
 /// The behaviour configuration of one party in a deal execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartyConfig {
     /// The party.
     pub id: PartyId,
@@ -90,14 +89,15 @@ impl PartyConfig {
 
     /// True if the party escrows its outgoing assets.
     pub fn will_escrow(&self) -> bool {
-        !matches!(self.deviation, Deviation::RefuseEscrow)
-            && self.participates_in(Phase::Escrow)
+        !matches!(self.deviation, Deviation::RefuseEscrow) && self.participates_in(Phase::Escrow)
     }
 
     /// True if the party performs its tentative transfers.
     pub fn will_transfer(&self) -> bool {
-        !matches!(self.deviation, Deviation::RefuseEscrow | Deviation::SkipTransfers)
-            && self.participates_in(Phase::Transfer)
+        !matches!(
+            self.deviation,
+            Deviation::RefuseEscrow | Deviation::SkipTransfers
+        ) && self.participates_in(Phase::Transfer)
     }
 
     /// True if the party votes to commit (assuming validation succeeded).
@@ -119,8 +119,10 @@ impl PartyConfig {
 
     /// True if the party votes abort on the CBC during the commit phase.
     pub fn votes_abort(&self) -> bool {
-        matches!(self.deviation, Deviation::VoteAbort | Deviation::RejectValidation)
-            && self.participates_in(Phase::Commit)
+        matches!(
+            self.deviation,
+            Deviation::VoteAbort | Deviation::RejectValidation
+        ) && self.participates_in(Phase::Commit)
     }
 
     /// The offline window, if this party has one.

@@ -3,12 +3,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use xchain_sim::gas::GasUsage;
 use xchain_sim::time::Duration;
 
 /// The five phases of a cross-chain deal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// The market-clearing service broadcasts the deal.
     Clearing,
@@ -48,7 +47,7 @@ impl fmt::Display for Phase {
 
 /// Per-phase gas and wall-clock (simulated) measurements collected by the
 /// protocol engines; the raw material for Figures 4 and 7.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PhaseMetrics {
     gas: BTreeMap<Phase, GasUsage>,
     duration: BTreeMap<Phase, Duration>,
@@ -63,13 +62,13 @@ impl PhaseMetrics {
     /// Records the gas attributed to a phase (accumulating).
     pub fn add_gas(&mut self, phase: Phase, gas: GasUsage) {
         let entry = self.gas.entry(phase).or_default();
-        *entry = *entry + gas;
+        *entry += gas;
     }
 
     /// Records the simulated duration of a phase (accumulating).
     pub fn add_duration(&mut self, phase: Phase, d: Duration) {
         let entry = self.duration.entry(phase).or_default();
-        *entry = *entry + d;
+        *entry += d;
     }
 
     /// The gas attributed to a phase.

@@ -57,8 +57,7 @@ pub fn bag_minus(a: &AssetBag, b: &AssetBag) -> AssetBag {
     }
     for (kind, tokens) in a.non_fungible_holdings() {
         let other = b.tokens(kind);
-        let missing: std::collections::BTreeSet<_> =
-            tokens.difference(&other).copied().collect();
+        let missing: std::collections::BTreeSet<_> = tokens.difference(&other).copied().collect();
         if !missing.is_empty() {
             out.add(&Asset::NonFungible {
                 kind: kind.clone(),
@@ -283,18 +282,40 @@ mod tests {
         let carol = PartyId(2);
         // "All" outcome.
         let all = outcome_with(
-            vec![(alice, bag(0, &[])), (bob, bag(0, &[1, 2])), (carol, bag(101, &[]))],
-            vec![(alice, bag(1, &[])), (bob, bag(100, &[])), (carol, bag(0, &[1, 2]))],
-            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Committed)],
+            vec![
+                (alice, bag(0, &[])),
+                (bob, bag(0, &[1, 2])),
+                (carol, bag(101, &[])),
+            ],
+            vec![
+                (alice, bag(1, &[])),
+                (bob, bag(100, &[])),
+                (carol, bag(0, &[1, 2])),
+            ],
+            vec![
+                (ChainId(0), ChainResolution::Committed),
+                (ChainId(1), ChainResolution::Committed),
+            ],
         );
         assert!(check_safety(&spec, &[], &all).holds());
         assert!(check_strong_liveness(&spec, &[], &all));
         assert!(check_conservation(&spec, &all));
         // "Nothing" outcome.
         let nothing = outcome_with(
-            vec![(alice, bag(0, &[])), (bob, bag(0, &[1, 2])), (carol, bag(101, &[]))],
-            vec![(alice, bag(0, &[])), (bob, bag(0, &[1, 2])), (carol, bag(101, &[]))],
-            vec![(ChainId(0), ChainResolution::Aborted), (ChainId(1), ChainResolution::Aborted)],
+            vec![
+                (alice, bag(0, &[])),
+                (bob, bag(0, &[1, 2])),
+                (carol, bag(101, &[])),
+            ],
+            vec![
+                (alice, bag(0, &[])),
+                (bob, bag(0, &[1, 2])),
+                (carol, bag(101, &[])),
+            ],
+            vec![
+                (ChainId(0), ChainResolution::Aborted),
+                (ChainId(1), ChainResolution::Aborted),
+            ],
         );
         assert!(check_safety(&spec, &[], &nothing).holds());
         assert!(!check_strong_liveness(&spec, &[], &nothing));
@@ -309,7 +330,10 @@ mod tests {
         let bad = outcome_with(
             vec![(bob, bag(0, &[1, 2]))],
             vec![(bob, bag(0, &[]))],
-            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Aborted)],
+            vec![
+                (ChainId(0), ChainResolution::Committed),
+                (ChainId(1), ChainResolution::Aborted),
+            ],
         );
         let report = check_safety(&spec, &[], &bad);
         assert!(!report.holds());
@@ -324,7 +348,10 @@ mod tests {
         let bad = outcome_with(
             vec![(bob, bag(0, &[1, 2]))],
             vec![(bob, bag(0, &[]))],
-            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Aborted)],
+            vec![
+                (ChainId(0), ChainResolution::Committed),
+                (ChainId(1), ChainResolution::Aborted),
+            ],
         );
         assert!(check_safety(&spec, &configs, &bad).holds());
     }
@@ -338,7 +365,10 @@ mod tests {
         let windfall = outcome_with(
             vec![(carol, bag(101, &[]))],
             vec![(carol, bag(101, &[1, 2]))],
-            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Aborted)],
+            vec![
+                (ChainId(0), ChainResolution::Committed),
+                (ChainId(1), ChainResolution::Aborted),
+            ],
         );
         assert!(check_safety(&spec, &[], &windfall).holds());
     }
@@ -350,7 +380,10 @@ mod tests {
         let bad = outcome_with(
             vec![(carol, bag(150, &[]))],
             vec![(carol, bag(0, &[1, 2]))], // lost 150 coins, agreed only 101
-            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Committed)],
+            vec![
+                (ChainId(0), ChainResolution::Committed),
+                (ChainId(1), ChainResolution::Committed),
+            ],
         );
         assert!(!check_safety(&spec, &[], &bad).holds());
     }
@@ -364,7 +397,10 @@ mod tests {
         let outcome = outcome_with(
             vec![],
             vec![],
-            vec![(ChainId(0), ChainResolution::Unresolved), (ChainId(1), ChainResolution::Aborted)],
+            vec![
+                (ChainId(0), ChainResolution::Unresolved),
+                (ChainId(1), ChainResolution::Aborted),
+            ],
         );
         assert!(check_weak_liveness(&spec, &configs, &outcome));
         // If Bob were compliant it would be a violation.
@@ -378,7 +414,10 @@ mod tests {
         let bad = outcome_with(
             vec![(carol, bag(101, &[]))],
             vec![(carol, bag(300, &[]))],
-            vec![(ChainId(0), ChainResolution::Committed), (ChainId(1), ChainResolution::Committed)],
+            vec![
+                (ChainId(0), ChainResolution::Committed),
+                (ChainId(1), ChainResolution::Committed),
+            ],
         );
         assert!(!check_conservation(&spec, &bad));
     }

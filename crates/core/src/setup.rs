@@ -15,14 +15,13 @@ use crate::spec::DealSpec;
 /// references, with each escrow owner already holding the asset it is supposed
 /// to escrow. Chains are created with a 1-tick block interval so chain time
 /// tracks world time closely; the network model is supplied by the caller.
-pub fn world_for_spec(spec: &DealSpec, network: NetworkModel, seed: u64) -> Result<World, DealError> {
+pub fn world_for_spec(
+    spec: &DealSpec,
+    network: NetworkModel,
+    seed: u64,
+) -> Result<World, DealError> {
     let mut world = World::with_network(seed, network);
-    let max_chain = spec
-        .chains()
-        .iter()
-        .map(|c| c.0)
-        .max()
-        .unwrap_or(0);
+    let max_chain = spec.chains().iter().map(|c| c.0).max().unwrap_or(0);
     for i in 0..=max_chain {
         world.add_chain(&format!("chain-{i}"), Duration(1));
     }
@@ -30,6 +29,15 @@ pub fn world_for_spec(spec: &DealSpec, network: NetworkModel, seed: u64) -> Resu
     world.add_parties(max_party as usize + 1);
     mint_escrow_assets(&mut world, spec)?;
     Ok(world)
+}
+
+/// Advances the world clock by one sampled observation delay (bounded by the
+/// worst-case delay of the network model at the current time). The protocol
+/// engines use this as their single time-stepping primitive between actions.
+pub fn advance_one_observation(world: &mut World) {
+    let now = world.now();
+    let delay = world.network().sample_delay(now, world.rng());
+    world.advance_by(delay);
 }
 
 /// Mints each escrow owner's assets on the relevant chains (workload setup).
@@ -48,7 +56,9 @@ pub fn check_parties_exist(world: &World, spec: &DealSpec) -> Result<(), DealErr
     let existing = world.party_ids();
     for p in &spec.parties {
         if !existing.contains(p) {
-            return Err(DealError::Config(format!("{p} does not exist in the world")));
+            return Err(DealError::Config(format!(
+                "{p} does not exist in the world"
+            )));
         }
     }
     Ok(())
@@ -58,7 +68,9 @@ pub fn check_parties_exist(world: &World, spec: &DealSpec) -> Result<(), DealErr
 pub fn check_chains_exist(world: &World, spec: &DealSpec) -> Result<(), DealError> {
     for c in spec.chains() {
         if world.chain(c).is_err() {
-            return Err(DealError::Config(format!("{c} does not exist in the world")));
+            return Err(DealError::Config(format!(
+                "{c} does not exist in the world"
+            )));
         }
     }
     Ok(())
@@ -189,11 +201,11 @@ mod tests {
     #[test]
     fn decentralization_chain_sets() {
         let spec = tiny_spec();
-        assert_eq!(chains_touched_by(&spec, PartyId(0)), vec![ChainId(0), ChainId(1)]);
-        let missing = check_parties_exist(
-            &World::new(0),
-            &spec,
+        assert_eq!(
+            chains_touched_by(&spec, PartyId(0)),
+            vec![ChainId(0), ChainId(1)]
         );
+        let missing = check_parties_exist(&World::new(0), &spec);
         assert!(missing.is_err());
     }
 }

@@ -208,10 +208,7 @@ impl DealSpec {
         // Tentative ownership per (chain, party), starting from the escrows.
         let mut owned: BTreeMap<(ChainId, PartyId), AssetBag> = BTreeMap::new();
         for e in &self.escrows {
-            owned
-                .entry((e.chain, e.owner))
-                .or_default()
-                .add(&e.asset);
+            owned.entry((e.chain, e.owner)).or_default().add(&e.asset);
         }
         let mut remaining: Vec<usize> = (0..self.transfers.len()).collect();
         let mut order = Vec::with_capacity(remaining.len());
@@ -248,12 +245,7 @@ impl DealSpec {
     /// Renders the deal as the matrix of Figure 1 (rows = outgoing, columns =
     /// incoming), for reports and examples.
     pub fn matrix_string(&self, names: &BTreeMap<PartyId, String>) -> String {
-        let name = |p: PartyId| {
-            names
-                .get(&p)
-                .cloned()
-                .unwrap_or_else(|| p.to_string())
-        };
+        let name = |p: PartyId| names.get(&p).cloned().unwrap_or_else(|| p.to_string());
         let mut out = String::new();
         out.push_str(&format!("{:>12} |", ""));
         for p in &self.parties {
@@ -378,10 +370,14 @@ mod tests {
         assert!(out.contains(&Asset::non_fungible("ticket", [1, 2])));
         // Bob gives tickets, receives 100 coins.
         assert_eq!(spec.incoming_of(bob).balance(&"coin".into()), 100);
-        assert!(spec.outgoing_of(bob).contains(&Asset::non_fungible("ticket", [1, 2])));
+        assert!(spec
+            .outgoing_of(bob)
+            .contains(&Asset::non_fungible("ticket", [1, 2])));
         // Carol gives 101 coins, receives tickets.
         assert_eq!(spec.outgoing_of(carol).balance(&"coin".into()), 101);
-        assert!(spec.incoming_of(carol).contains(&Asset::non_fungible("ticket", [1, 2])));
+        assert!(spec
+            .incoming_of(carol)
+            .contains(&Asset::non_fungible("ticket", [1, 2])));
     }
 
     #[test]
@@ -434,7 +430,10 @@ mod tests {
                 asset: Asset::fungible("coin", 5),
             }],
         );
-        assert!(matches!(spec.transfer_order(), Err(DealError::InvalidSpec(_))));
+        assert!(matches!(
+            spec.transfer_order(),
+            Err(DealError::InvalidSpec(_))
+        ));
         assert!(spec.validate().is_err());
     }
 

@@ -21,6 +21,7 @@ use crate::error::DealError;
 use crate::outcome::{ChainResolution, DealOutcome, ProtocolKind};
 use crate::party::{config_of, PartyConfig};
 use crate::phases::{Phase, PhaseMetrics};
+use crate::setup::advance_one_observation;
 use crate::spec::DealSpec;
 use crate::{setup, validation};
 
@@ -74,10 +75,25 @@ pub struct TimelockRun {
 /// Runs one deal under the timelock commit protocol.
 ///
 /// The world must already contain the chains and parties the specification
-/// references (see [`crate::setup::world_for_spec`]); the engine installs the
-/// escrow contracts, schedules every party action according to its
-/// [`PartyConfig`], and returns the measured [`DealOutcome`].
+/// references (see [`crate::setup::world_for_spec`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Deal::new(spec).run(Protocol::Timelock(opts)) from the unified DealEngine API"
+)]
 pub fn run_timelock(
+    world: &mut World,
+    spec: &DealSpec,
+    configs: &[PartyConfig],
+    opts: &TimelockOptions,
+) -> Result<TimelockRun, DealError> {
+    drive(world, spec, configs, opts)
+}
+
+/// The timelock protocol driver behind [`crate::Protocol::Timelock`]: installs
+/// the escrow contracts, schedules every party action according to its
+/// [`PartyConfig`], and returns the measured [`DealOutcome`] plus the
+/// per-chain contracts and validation verdicts.
+pub(crate) fn drive(
     world: &mut World,
     spec: &DealSpec,
     configs: &[PartyConfig],
@@ -131,9 +147,12 @@ pub fn run_timelock(
             continue;
         }
         let contract = contracts[&e.chain];
-        let result = world.call(e.chain, Owner::Party(e.owner), contract, |m: &mut TimelockManager, ctx| {
-            m.escrow(ctx, e.asset.clone())
-        });
+        let result = world.call(
+            e.chain,
+            Owner::Party(e.owner),
+            contract,
+            |m: &mut TimelockManager, ctx| m.escrow(ctx, e.asset.clone()),
+        );
         match result {
             Ok(()) => {}
             Err(err) if cfg.is_compliant() && !world.is_offline(e.owner, world.now()) => {
@@ -157,9 +176,12 @@ pub fn run_timelock(
         let cfg = config_of(configs, t.from);
         if cfg.will_transfer() {
             let contract = contracts[&t.chain];
-            let _ = world.call(t.chain, Owner::Party(t.from), contract, |m: &mut TimelockManager, ctx| {
-                m.transfer(ctx, t.asset.clone(), t.to)
-            });
+            let _ = world.call(
+                t.chain,
+                Owner::Party(t.from),
+                contract,
+                |m: &mut TimelockManager, ctx| m.transfer(ctx, t.asset.clone(), t.to),
+            );
         }
         // Sequential transfers: the next sender must observe this one first.
         if !opts.concurrent_transfers && step + 1 < order.len() {
@@ -211,9 +233,12 @@ pub fn run_timelock(
         let vote = PathSignature::direct(p, &key, &message);
         for chain in target_chains {
             let contract = contracts[&chain];
-            let result = world.call(chain, Owner::Party(p), contract, |m: &mut TimelockManager, ctx| {
-                m.commit(ctx, &vote)
-            });
+            let result = world.call(
+                chain,
+                Owner::Party(p),
+                contract,
+                |m: &mut TimelockManager, ctx| m.commit(ctx, &vote),
+            );
             if result.is_ok() {
                 published.push(PublishedVote {
                     chain,
@@ -271,9 +296,12 @@ pub fn run_timelock(
                     let message = info.vote_message(vote.voter);
                     let forwarded = vote.path.forwarded_by(p, &key, &message);
                     let contract = contracts[&target];
-                    let result = world.call(target, Owner::Party(p), contract, |m: &mut TimelockManager, ctx| {
-                        m.commit(ctx, &forwarded)
-                    });
+                    let result = world.call(
+                        target,
+                        Owner::Party(p),
+                        contract,
+                        |m: &mut TimelockManager, ctx| m.commit(ctx, &forwarded),
+                    );
                     if result.is_ok() {
                         published.push(PublishedVote {
                             chain: target,
@@ -294,15 +322,21 @@ pub fn run_timelock(
             let unresolved = world
                 .chain(chain)
                 .ok()
-                .and_then(|c| c.view(contract, |m: &TimelockManager| m.resolution().is_none()).ok())
+                .and_then(|c| {
+                    c.view(contract, |m: &TimelockManager| m.resolution().is_none())
+                        .ok()
+                })
                 .unwrap_or(false);
             if !unresolved {
                 continue;
             }
             if let Some(caller) = setup::pick_online_party(world, spec, configs) {
-                let _ = world.call(chain, Owner::Party(caller), contract, |m: &mut TimelockManager, ctx| {
-                    m.claim_timeout(ctx)
-                });
+                let _ = world.call(
+                    chain,
+                    Owner::Party(caller),
+                    contract,
+                    |m: &mut TimelockManager, ctx| m.claim_timeout(ctx),
+                );
             }
         }
     }
@@ -326,7 +360,9 @@ pub fn run_timelock(
                 Some(xchain_contracts::escrow::EscrowResolution::Committed) => {
                     ChainResolution::Committed
                 }
-                Some(xchain_contracts::escrow::EscrowResolution::Aborted) => ChainResolution::Aborted,
+                Some(xchain_contracts::escrow::EscrowResolution::Aborted) => {
+                    ChainResolution::Aborted
+                }
                 None => ChainResolution::Unresolved,
             },
         );
@@ -346,21 +382,16 @@ pub fn run_timelock(
     })
 }
 
-/// Advances the world clock by one sampled observation delay (≤ the worst-case
-/// delay of the network model at the current time).
-fn advance_one_observation(world: &mut World) {
-    let now = world.now();
-    let delay = world.network().sample_delay(now, world.rng());
-    world.advance_by(delay);
-}
-
 /// True if every escrow contract has resolved (committed or refunded).
 fn all_resolved(world: &World, contracts: &BTreeMap<ChainId, ContractId>) -> bool {
     contracts.iter().all(|(&chain, &contract)| {
         world
             .chain(chain)
             .ok()
-            .and_then(|c| c.view(contract, |m: &TimelockManager| m.resolution().is_some()).ok())
+            .and_then(|c| {
+                c.view(contract, |m: &TimelockManager| m.resolution().is_some())
+                    .ok()
+            })
             .unwrap_or(false)
     })
 }
@@ -381,8 +412,10 @@ pub fn total_gas(world: &World) -> GasUsage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::party::Deviation;
     use crate::builders::broker_spec;
+    use crate::deal::{Deal, DealRun};
+    use crate::engine::Protocol;
+    use crate::party::Deviation;
     use xchain_sim::asset::Asset;
     use xchain_sim::network::NetworkModel;
 
@@ -390,54 +423,78 @@ mod tests {
         configs: &[PartyConfig],
         opts: &TimelockOptions,
         seed: u64,
-    ) -> (World, TimelockRun, DealSpec) {
+    ) -> (DealRun, DealSpec) {
         let spec = broker_spec();
-        let mut world =
-            setup::world_for_spec(&spec, NetworkModel::synchronous(opts.delta.ticks()), seed)
-                .unwrap();
-        let run = run_timelock(&mut world, &spec, configs, opts).unwrap();
-        (world, run, spec)
+        let run = Deal::new(spec.clone())
+            .network(NetworkModel::synchronous(opts.delta.ticks()))
+            .parties(configs)
+            .seed(seed)
+            .run(Protocol::Timelock(*opts))
+            .unwrap();
+        (run, spec)
     }
 
     #[test]
     fn all_compliant_broker_deal_commits_everywhere() {
-        let (world, run, spec) = run_broker(&[], &TimelockOptions::default(), 1);
+        let (run, spec) = run_broker(&[], &TimelockOptions::default(), 1);
         assert!(run.outcome.committed_everywhere());
         // Carol ends with the tickets, Bob with 100 coins, Alice with 1 coin.
         let alice = spec.parties[0];
         let bob = spec.parties[1];
         let carol = spec.parties[2];
-        assert!(world
+        assert!(run
+            .world
             .holdings(Owner::Party(carol))
             .contains(&Asset::non_fungible("ticket", [1, 2])));
-        assert_eq!(world.holdings(Owner::Party(bob)).balance(&"coin".into()), 100);
-        assert_eq!(world.holdings(Owner::Party(alice)).balance(&"coin".into()), 1);
+        assert_eq!(
+            run.world
+                .holdings(Owner::Party(bob))
+                .balance(&"coin".into()),
+            100
+        );
+        assert_eq!(
+            run.world
+                .holdings(Owner::Party(alice))
+                .balance(&"coin".into()),
+            1
+        );
     }
 
     #[test]
     fn withheld_vote_times_out_and_refunds() {
         let configs = vec![PartyConfig::deviating(PartyId(2), Deviation::WithholdVote)];
-        let (world, run, spec) = run_broker(&configs, &TimelockOptions::default(), 2);
+        let (run, spec) = run_broker(&configs, &TimelockOptions::default(), 2);
         assert!(run.outcome.aborted_everywhere());
         let bob = spec.parties[1];
         let carol = spec.parties[2];
         // Original owners got their escrows back.
-        assert!(world
+        assert!(run
+            .world
             .holdings(Owner::Party(bob))
             .contains(&Asset::non_fungible("ticket", [1, 2])));
-        assert_eq!(world.holdings(Owner::Party(carol)).balance(&"coin".into()), 101);
+        assert_eq!(
+            run.world
+                .holdings(Owner::Party(carol))
+                .balance(&"coin".into()),
+            101
+        );
     }
 
     #[test]
     fn crash_before_escrow_leaves_no_compliant_party_worse_off() {
         let configs = vec![PartyConfig::deviating(PartyId(1), Deviation::RefuseEscrow)];
-        let (world, run, spec) = run_broker(&configs, &TimelockOptions::default(), 3);
+        let (run, spec) = run_broker(&configs, &TimelockOptions::default(), 3);
         // Bob never escrowed his tickets, so validation fails for Carol/Alice
         // and the deal aborts everywhere.
         assert!(!run.outcome.committed_everywhere());
         assert!(run.outcome.fully_resolved());
         let carol = spec.parties[2];
-        assert_eq!(world.holdings(Owner::Party(carol)).balance(&"coin".into()), 101);
+        assert_eq!(
+            run.world
+                .holdings(Owner::Party(carol))
+                .balance(&"coin".into()),
+            101
+        );
     }
 
     #[test]
@@ -446,7 +503,7 @@ mod tests {
             altruistic_broadcast: true,
             ..TimelockOptions::default()
         };
-        let (_, run, _) = run_broker(&[], &opts, 4);
+        let (run, _) = run_broker(&[], &opts, 4);
         assert!(run.outcome.committed_everywhere());
         // Broadcast should not need forwarding rounds: commit duration is a
         // small constant number of ∆.
@@ -456,12 +513,18 @@ mod tests {
 
     #[test]
     fn metrics_capture_gas_and_time_per_phase() {
-        let (_, run, spec) = run_broker(&[], &TimelockOptions::default(), 5);
+        let (run, spec) = run_broker(&[], &TimelockOptions::default(), 5);
         let m = &run.outcome.metrics;
         // Escrow: 4 writes per escrowed asset (Figure 3).
-        assert_eq!(m.gas(Phase::Escrow).storage_writes, 4 * spec.n_assets() as u64);
+        assert_eq!(
+            m.gas(Phase::Escrow).storage_writes,
+            4 * spec.n_assets() as u64
+        );
         // Transfer: 2 writes per tentative transfer.
-        assert_eq!(m.gas(Phase::Transfer).storage_writes, 2 * spec.n_transfers() as u64);
+        assert_eq!(
+            m.gas(Phase::Transfer).storage_writes,
+            2 * spec.n_transfers() as u64
+        );
         // Validation costs no gas.
         assert_eq!(m.gas(Phase::Validation).total(), 0);
         // Commit performs signature verifications.
@@ -470,9 +533,16 @@ mod tests {
     }
 
     #[test]
+    fn validated_map_is_carried_in_the_extension() {
+        let (run, spec) = run_broker(&[], &TimelockOptions::default(), 6);
+        let validated = run.ext.validated().unwrap();
+        assert!(spec.parties.iter().all(|p| validated[p]));
+    }
+
+    #[test]
     fn deterministic_given_seed() {
-        let (_, run_a, _) = run_broker(&[], &TimelockOptions::default(), 9);
-        let (_, run_b, _) = run_broker(&[], &TimelockOptions::default(), 9);
+        let (run_a, _) = run_broker(&[], &TimelockOptions::default(), 9);
+        let (run_b, _) = run_broker(&[], &TimelockOptions::default(), 9);
         assert_eq!(
             run_a.outcome.metrics.total_gas(),
             run_b.outcome.metrics.total_gas()

@@ -79,7 +79,9 @@ pub fn validate_timelock(
                 }
                 let expected = expected_on_chain(spec, party, chain);
                 let tentative = m.core().on_commit_of(party);
-                assets_of_bag(&expected).iter().all(|a| tentative.contains(a))
+                assets_of_bag(&expected)
+                    .iter()
+                    .all(|a| tentative.contains(a))
             })
             .unwrap_or(false);
         if !ok {
@@ -113,7 +115,9 @@ pub fn validate_cbc(
                 }
                 let expected = expected_on_chain(spec, party, chain);
                 let tentative = m.core().on_commit_of(party);
-                assets_of_bag(&expected).iter().all(|a| tentative.contains(a))
+                assets_of_bag(&expected)
+                    .iter()
+                    .all(|a| tentative.contains(a))
             })
             .unwrap_or(false);
         if !ok {

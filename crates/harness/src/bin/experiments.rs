@@ -1,6 +1,6 @@
 //! Command-line entry point that regenerates the paper's tables and figures.
 //!
-//! Usage: `cargo run -p xchain-harness --bin experiments -- [all|fig1|fig3|fig4|fig7|safety|liveness|pow|crossover|swap]`
+//! Usage: `cargo run -p xchain-harness --bin experiments -- [all|fig1|fig3|fig4|fig7|safety|liveness|matrix|pow|crossover|swap]`
 
 use xchain_harness::experiments;
 
@@ -23,8 +23,12 @@ fn main() {
         "fig7" => println!("{}", experiments::fig7_delays(&[3, 5, 7, 9]).1.render()),
         "safety" => println!("{}", experiments::safety_sweep().1.render()),
         "liveness" => println!("{}", experiments::liveness_experiment().render()),
+        "matrix" => println!("{}", experiments::protocol_matrix_experiment().1.render()),
         "pow" => println!("{}", experiments::pow_attack_experiment(500).render()),
-        "crossover" => println!("{}", experiments::crossover_experiment(&[3, 4, 6, 8, 10, 12], 2).render()),
+        "crossover" => println!(
+            "{}",
+            experiments::crossover_experiment(&[3, 4, 6, 8, 10, 12], 2).render()
+        ),
         "swap" => {
             for t in experiments::swap_baseline_experiment() {
                 println!("{}", t.render());
@@ -32,7 +36,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: all fig1 fig3 fig4 fig5 fig7 safety liveness pow crossover swap");
+            eprintln!(
+                "known: all fig1 fig3 fig4 fig5 fig7 safety liveness matrix pow crossover swap"
+            );
             std::process::exit(2);
         }
     }

@@ -2,31 +2,31 @@
 //!
 //! Each function returns one or more [`Table`]s whose *shape* is compared
 //! against the paper's claims in EXPERIMENTS.md. Parameters are small enough
-//! to run in seconds; the criterion benches in `xchain-bench` re-run the same
-//! code under measurement.
+//! to run in seconds; the benches in `xchain-bench` re-run the same code
+//! under measurement. Every experiment goes through the unified
+//! [`Deal`] builder / [`Sweep`] API, so adding a protocol or network model is
+//! a one-line change.
 
-use xchain_bft::pow::{attack_success_rate, analytic_success_probability, PowAttackParams};
+use xchain_bft::pow::{analytic_success_probability, attack_success_rate, PowAttackParams};
 use xchain_deals::builders::{auction_spec, broker_spec, brokered_chain_spec, ring_spec};
-use xchain_deals::cbc::{run_cbc, CbcOptions};
+use xchain_deals::cbc::CbcOptions;
 use xchain_deals::digraph::DealDigraph;
-use xchain_deals::party::PartyConfig;
 use xchain_deals::phases::Phase;
 use xchain_deals::properties::{
     check_conservation, check_safety, check_strong_liveness, check_weak_liveness,
 };
-use xchain_deals::setup::world_for_spec;
 use xchain_deals::spec::DealSpec;
-use xchain_deals::timelock::{run_timelock, TimelockOptions};
-use xchain_sim::ids::DealId;
+use xchain_deals::timelock::TimelockOptions;
+use xchain_deals::{Deal, Protocol};
+use xchain_sim::asset::Asset;
+use xchain_sim::ids::{ChainId, DealId, PartyId};
 use xchain_sim::network::NetworkModel;
 use xchain_sim::time::Duration;
-use xchain_swap::{expressible_as_swap, run_two_party_swap, SwapSpec};
-use xchain_sim::asset::Asset;
-use xchain_sim::ids::{ChainId, Owner, PartyId};
-use xchain_sim::world::World;
+use xchain_swap::expressible_as_swap;
 
 use crate::adversary::{all_but_one_deviate, single_deviator_configs};
 use crate::report::Table;
+use crate::sweep::{protocol_engines, standard_engines, Sweep};
 
 /// The ∆ used throughout the experiments (ticks).
 pub const DELTA: u64 = 100;
@@ -63,8 +63,11 @@ pub fn fig1_fig2_example() -> Vec<Table> {
 /// FIG3: per-operation storage-write counts of the escrow manager.
 pub fn fig3_escrow_costs() -> Table {
     let spec = broker_spec();
-    let mut world = world_for_spec(&spec, sync_net(), 11).unwrap();
-    let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
+    let run = Deal::new(spec.clone())
+        .network(sync_net())
+        .seed(11)
+        .run(Protocol::timelock())
+        .unwrap();
     let mut t = Table::new(
         "Figure 3 — escrow manager storage writes (measured)",
         &["operation", "count", "storage writes", "writes per op"],
@@ -118,21 +121,32 @@ pub struct GasRow {
 pub fn fig4_gas(ns: &[u32], f: usize) -> (Vec<GasRow>, Table) {
     let mut rows = Vec::new();
     for &n in ns {
-        let spec = brokered_chain_spec(DealId(1000 + n as u64), n, 100);
-        // Timelock
-        let mut world = world_for_spec(&spec, sync_net(), 42).unwrap();
-        let tl = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
-        rows.push(gas_row("timelock", &spec, 0, &tl.outcome.metrics));
-        // CBC
-        let mut world = world_for_spec(&spec, sync_net(), 42).unwrap();
-        let cbc = run_cbc(&mut world, &spec, &[], &CbcOptions { f, ..CbcOptions::default() }).unwrap();
-        rows.push(gas_row("CBC", &spec, f, &cbc.outcome.metrics));
+        let deal = Deal::new(brokered_chain_spec(DealId(1000 + n as u64), n, 100))
+            .network(sync_net())
+            .seed(42);
+        let tl = deal.run(Protocol::timelock()).unwrap();
+        rows.push(gas_row("timelock", deal.spec(), 0, &tl.outcome.metrics));
+        let cbc = deal
+            .run(Protocol::Cbc(CbcOptions {
+                f,
+                ..CbcOptions::default()
+            }))
+            .unwrap();
+        rows.push(gas_row("CBC", deal.spec(), f, &cbc.outcome.metrics));
     }
     let mut t = Table::new(
         format!("Figure 4 — gas costs (f = {f} for CBC)"),
         &[
-            "protocol", "n", "m", "t", "escrow writes", "transfer writes", "validation gas",
-            "commit sig.ver.", "commit writes", "total gas",
+            "protocol",
+            "n",
+            "m",
+            "t",
+            "escrow writes",
+            "transfer writes",
+            "validation gas",
+            "commit sig.ver.",
+            "commit writes",
+            "total gas",
         ],
     );
     for r in &rows {
@@ -152,7 +166,12 @@ pub fn fig4_gas(ns: &[u32], f: usize) -> (Vec<GasRow>, Table) {
     (rows, t)
 }
 
-fn gas_row(protocol: &str, spec: &DealSpec, f: usize, metrics: &xchain_deals::phases::PhaseMetrics) -> GasRow {
+fn gas_row(
+    protocol: &str,
+    spec: &DealSpec,
+    f: usize,
+    metrics: &xchain_deals::phases::PhaseMetrics,
+) -> GasRow {
     GasRow {
         protocol: protocol.to_string(),
         n: spec.n_parties(),
@@ -193,38 +212,59 @@ pub fn fig7_delays(ns: &[u32]) -> (Vec<DelayRow>, Table) {
     let delta = Duration(DELTA);
     let mut rows = Vec::new();
     for &n in ns {
-        let spec = ring_spec(DealId(2000 + n as u64), n);
-        let cases: Vec<(String, TimelockOptions)> = vec![
+        let deal = Deal::new(ring_spec(DealId(2000 + n as u64), n))
+            .network(sync_net())
+            .seed(7);
+        let cases: Vec<(String, Protocol)> = vec![
             (
                 "timelock / sequential transfers / forwarded votes".into(),
-                TimelockOptions { delta, altruistic_broadcast: false, concurrent_transfers: false },
+                Protocol::Timelock(TimelockOptions {
+                    delta,
+                    altruistic_broadcast: false,
+                    concurrent_transfers: false,
+                }),
             ),
             (
                 "timelock / concurrent transfers / broadcast votes".into(),
-                TimelockOptions { delta, altruistic_broadcast: true, concurrent_transfers: true },
+                Protocol::Timelock(TimelockOptions {
+                    delta,
+                    altruistic_broadcast: true,
+                    concurrent_transfers: true,
+                }),
+            ),
+            (
+                "CBC / sequential transfers".into(),
+                Protocol::Cbc(CbcOptions {
+                    concurrent_transfers: false,
+                    delta,
+                    ..CbcOptions::default()
+                }),
+            ),
+            (
+                "CBC / concurrent transfers".into(),
+                Protocol::Cbc(CbcOptions {
+                    concurrent_transfers: true,
+                    delta,
+                    ..CbcOptions::default()
+                }),
             ),
         ];
-        for (label, opts) in cases {
-            let mut world = world_for_spec(&spec, sync_net(), 7).unwrap();
-            let run = run_timelock(&mut world, &spec, &[], &opts).unwrap();
-            rows.push(delay_row(&label, &spec, &run.outcome.metrics, delta));
-        }
-        // CBC, sequential and concurrent transfers.
-        for (label, concurrent) in [("CBC / sequential transfers", false), ("CBC / concurrent transfers", true)] {
-            let mut world = world_for_spec(&spec, sync_net(), 7).unwrap();
-            let run = run_cbc(
-                &mut world,
-                &spec,
-                &[],
-                &CbcOptions { concurrent_transfers: concurrent, delta, ..CbcOptions::default() },
-            )
-            .unwrap();
-            rows.push(delay_row(label, &spec, &run.outcome.metrics, delta));
+        for (label, protocol) in cases {
+            let run = deal.run(protocol).unwrap();
+            rows.push(delay_row(&label, deal.spec(), &run.outcome.metrics, delta));
         }
     }
     let mut t = Table::new(
         "Figure 7 — phase delays in units of ∆ (synchronous network)",
-        &["scenario", "n", "t", "escrow/∆", "transfer/∆", "validation/∆", "commit/∆"],
+        &[
+            "scenario",
+            "n",
+            "t",
+            "escrow/∆",
+            "transfer/∆",
+            "validation/∆",
+            "commit/∆",
+        ],
     );
     for r in &rows {
         t.push_row(vec![
@@ -270,32 +310,59 @@ pub struct SafetySweepResult {
     pub conservation_violations: usize,
 }
 
-/// THM 5.1 / 6.1: runs every single-deviator and all-but-one-deviator scenario
-/// on the broker deal (and a 4-party ring) under both protocols and checks the
-/// safety, weak-liveness and conservation properties.
+/// THM 5.1 / 6.1: one generic sweep runs every single-deviator and
+/// all-but-one-deviator scenario on the broker deal and a 4-party ring under
+/// both commit protocols, checking the safety, weak-liveness and conservation
+/// properties on every point.
 pub fn safety_sweep() -> (SafetySweepResult, Table) {
+    let outcome = Sweep::new()
+        .spec("broker (Fig 1)", broker_spec())
+        .spec("ring n=4", ring_spec(DealId(77), 4))
+        .over_protocols(protocol_engines())
+        .over_networks(vec![("synchronous".into(), sync_net())])
+        .over_adversaries(|spec| {
+            let mut scenarios = vec![("all compliant".to_string(), Vec::new())];
+            scenarios.extend(
+                single_deviator_configs(spec, DELTA)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| (format!("single deviator #{i}"), c)),
+            );
+            for &honest in &spec.parties {
+                scenarios.extend(
+                    all_but_one_deviate(spec, honest, DELTA)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, c)| (format!("all but {honest} deviate #{i}"), c)),
+                );
+            }
+            scenarios
+        })
+        .seed(100)
+        .run()
+        .unwrap();
+
     let mut result = SafetySweepResult::default();
-    let specs = vec![broker_spec(), ring_spec(DealId(77), 4)];
-    for spec in &specs {
-        let mut scenarios: Vec<Vec<PartyConfig>> = vec![vec![]];
-        scenarios.extend(single_deviator_configs(spec, DELTA));
-        for &honest in &spec.parties {
-            scenarios.extend(all_but_one_deviate(spec, honest, DELTA));
+    for p in &outcome.points {
+        result.scenarios += 1;
+        result.safety_violations += check_safety(&p.deal, &p.configs, &p.run.outcome)
+            .violations
+            .len();
+        if !check_weak_liveness(&p.deal, &p.configs, &p.run.outcome) {
+            result.weak_liveness_violations += 1;
         }
-        for (i, configs) in scenarios.iter().enumerate() {
-            // Timelock
-            let mut world = world_for_spec(spec, sync_net(), 100 + i as u64).unwrap();
-            let run = run_timelock(&mut world, spec, configs, &TimelockOptions::default()).unwrap();
-            tally(&mut result, spec, configs, &run.outcome);
-            // CBC
-            let mut world = world_for_spec(spec, sync_net(), 200 + i as u64).unwrap();
-            let run = run_cbc(&mut world, spec, configs, &CbcOptions::default()).unwrap();
-            tally(&mut result, spec, configs, &run.outcome);
+        if !check_conservation(&p.deal, &p.run.outcome) {
+            result.conservation_violations += 1;
         }
     }
     let mut t = Table::new(
         "Theorems 5.1/5.2/6.1 — adversarial sweep (violations must be 0)",
-        &["scenarios", "safety violations", "weak-liveness violations", "conservation violations"],
+        &[
+            "scenarios",
+            "safety violations",
+            "weak-liveness violations",
+            "conservation violations",
+        ],
     );
     t.push_row(vec![
         result.scenarios.to_string(),
@@ -306,54 +373,97 @@ pub fn safety_sweep() -> (SafetySweepResult, Table) {
     (result, t)
 }
 
-fn tally(
-    result: &mut SafetySweepResult,
-    spec: &DealSpec,
-    configs: &[PartyConfig],
-    outcome: &xchain_deals::outcome::DealOutcome,
-) {
-    result.scenarios += 1;
-    result.safety_violations += check_safety(spec, configs, outcome).violations.len();
-    if !check_weak_liveness(spec, configs, outcome) {
-        result.weak_liveness_violations += 1;
-    }
-    if !check_conservation(spec, outcome) {
-        result.conservation_violations += 1;
-    }
-}
-
 /// THM 5.3 / strong liveness: all-compliant runs across workloads must commit
-/// everywhere and deliver exactly the agreed transfers.
+/// everywhere and deliver exactly the agreed transfers — one sweep over every
+/// workload × engine.
 pub fn liveness_experiment() -> Table {
+    let outcome = Sweep::new()
+        .over_specs(vec![
+            ("broker (Fig 1)".into(), broker_spec()),
+            ("ring n=5".into(), ring_spec(DealId(3), 5)),
+            (
+                "auction 3 bidders".into(),
+                auction_spec(DealId(4), &[30, 55, 42]),
+            ),
+            (
+                "brokered chain n=6".into(),
+                brokered_chain_spec(DealId(5), 6, 80),
+            ),
+        ])
+        .over_protocols(protocol_engines())
+        .over_networks(vec![("synchronous".into(), sync_net())])
+        .seed(17)
+        .run()
+        .unwrap();
     let mut t = Table::new(
         "Theorem 5.3 / Property 3 — strong liveness (all parties compliant)",
-        &["workload", "protocol", "committed everywhere", "strong liveness"],
+        &[
+            "workload",
+            "protocol",
+            "committed everywhere",
+            "strong liveness",
+        ],
     );
-    let workloads: Vec<(String, DealSpec)> = vec![
-        ("broker (Fig 1)".into(), broker_spec()),
-        ("ring n=5".into(), ring_spec(DealId(3), 5)),
-        ("auction 3 bidders".into(), auction_spec(DealId(4), &[30, 55, 42])),
-        ("brokered chain n=6".into(), brokered_chain_spec(DealId(5), 6, 80)),
-    ];
-    for (name, spec) in workloads {
-        let mut world = world_for_spec(&spec, sync_net(), 17).unwrap();
-        let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
+    for p in &outcome.points {
         t.push_row(vec![
-            name.clone(),
-            "timelock".into(),
-            run.outcome.committed_everywhere().to_string(),
-            check_strong_liveness(&spec, &[], &run.outcome).to_string(),
-        ]);
-        let mut world = world_for_spec(&spec, sync_net(), 18).unwrap();
-        let run = run_cbc(&mut world, &spec, &[], &CbcOptions::default()).unwrap();
-        t.push_row(vec![
-            name,
-            "CBC".into(),
-            run.outcome.committed_everywhere().to_string(),
-            check_strong_liveness(&spec, &[], &run.outcome).to_string(),
+            p.spec.clone(),
+            p.engine.clone(),
+            p.run.outcome.committed_everywhere().to_string(),
+            check_strong_liveness(&p.deal, &p.configs, &p.run.outcome).to_string(),
         ]);
     }
     t
+}
+
+/// One row of the protocol × network matrix:
+/// `(deal, engine, network, committed everywhere, safety holds)`.
+pub type MatrixRow = (String, String, String, bool, bool);
+
+/// The protocol × network matrix: all three engines (timelock, CBC, HTLC
+/// swap) over synchronous and eventually-synchronous networks, on a deal each
+/// engine can express. Reproduces the paper's synchrony story in one sweep:
+/// the CBC commits under both models, the timelock protocol is only
+/// guaranteed to commit under synchrony (it stays *safe* regardless), and the
+/// swap engine covers the two-party case.
+pub fn protocol_matrix_experiment() -> (Vec<MatrixRow>, Table) {
+    let outcome = Sweep::new()
+        .spec("two-party exchange", two_party_deal())
+        .spec("broker (Fig 1)", broker_spec())
+        .over_protocols(standard_engines(DELTA))
+        .over_networks(vec![
+            ("synchronous".into(), sync_net()),
+            (
+                "eventually synchronous (GST 5∆)".into(),
+                NetworkModel::eventually_synchronous(5 * DELTA, DELTA, 10 * DELTA),
+            ),
+        ])
+        .seed(500)
+        .run()
+        .unwrap();
+    let mut rows = Vec::new();
+    let mut t = Table::new(
+        "Protocol × network matrix (all parties compliant)",
+        &["deal", "engine", "network", "committed", "safety holds"],
+    );
+    for p in &outcome.points {
+        let committed = p.run.outcome.committed_everywhere();
+        let safe = check_safety(&p.deal, &p.configs, &p.run.outcome).holds();
+        rows.push((
+            p.spec.clone(),
+            p.engine.clone(),
+            p.network.clone(),
+            committed,
+            safe,
+        ));
+        t.push_row(vec![
+            p.spec.clone(),
+            p.engine.clone(),
+            p.network.clone(),
+            committed.to_string(),
+            safe.to_string(),
+        ]);
+    }
+    (rows, t)
 }
 
 /// SEC 6.2: the proof-of-work private-abort-block attack as a function of the
@@ -361,14 +471,23 @@ pub fn liveness_experiment() -> Table {
 pub fn pow_attack_experiment(trials: u64) -> Table {
     let mut t = Table::new(
         "Section 6.2 — PoW CBC private-abort attack success rate",
-        &["attacker hash power", "confirmations", "measured success", "analytic estimate"],
+        &[
+            "attacker hash power",
+            "confirmations",
+            "measured success",
+            "analytic estimate",
+        ],
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
     use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
     for &alpha in &[0.10, 0.25, 0.33, 0.45] {
         for &k in &[1u64, 3, 6, 12] {
             let rate = attack_success_rate(
-                &PowAttackParams { alpha, confirmations: k, max_blocks: 60 * (k + 2) },
+                &PowAttackParams {
+                    alpha,
+                    confirmations: k,
+                    max_blocks: 60 * (k + 2),
+                },
                 trials,
                 &mut rng,
             );
@@ -389,89 +508,93 @@ pub fn pow_attack_experiment(trials: u64) -> Table {
 pub fn crossover_experiment(ns: &[u32], f: usize) -> Table {
     let mut t = Table::new(
         format!("Discussion — commit-phase signature verifications, timelock vs CBC (f = {f})"),
-        &["n", "m", "timelock commit sig.ver.", "CBC commit sig.ver.", "cheaper"],
+        &[
+            "n",
+            "m",
+            "timelock commit sig.ver.",
+            "CBC commit sig.ver.",
+            "cheaper",
+        ],
     );
     for &n in ns {
-        let spec = brokered_chain_spec(DealId(4000 + n as u64), n, 60);
-        let mut world = world_for_spec(&spec, sync_net(), 3).unwrap();
-        let tl = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
-        let mut world = world_for_spec(&spec, sync_net(), 3).unwrap();
-        let cbc = run_cbc(&mut world, &spec, &[], &CbcOptions { f, ..CbcOptions::default() }).unwrap();
+        let deal = Deal::new(brokered_chain_spec(DealId(4000 + n as u64), n, 60))
+            .network(sync_net())
+            .seed(3);
+        let tl = deal.run(Protocol::timelock()).unwrap();
+        let cbc = deal
+            .run(Protocol::Cbc(CbcOptions {
+                f,
+                ..CbcOptions::default()
+            }))
+            .unwrap();
         let tl_sigs = tl.outcome.metrics.gas(Phase::Commit).sig_verifications;
         let cbc_sigs = cbc.outcome.metrics.gas(Phase::Commit).sig_verifications;
         t.push_row(vec![
             n.to_string(),
-            spec.n_assets().to_string(),
+            deal.spec().n_assets().to_string(),
             tl_sigs.to_string(),
             cbc_sigs.to_string(),
-            if tl_sigs <= cbc_sigs { "timelock" } else { "CBC" }.to_string(),
+            if tl_sigs <= cbc_sigs {
+                "timelock"
+            } else {
+                "CBC"
+            }
+            .to_string(),
         ]);
     }
     t
 }
 
-/// SEC 8: swaps vs deals — expressiveness and a two-party cost comparison.
+/// SEC 8: swaps vs deals — expressiveness and a two-party cost comparison,
+/// with the HTLC swap running as just another [`xchain_deals::DealEngine`].
 pub fn swap_baseline_experiment() -> Vec<Table> {
     let mut t1 = Table::new(
         "Section 8 — which deals are expressible as atomic swaps",
         &["deal", "expressible as swap"],
     );
-    t1.push_row(vec!["broker (Fig 1)".into(), expressible_as_swap(&broker_spec()).to_string()]);
+    t1.push_row(vec![
+        "broker (Fig 1)".into(),
+        expressible_as_swap(&broker_spec()).to_string(),
+    ]);
     t1.push_row(vec![
         "auction (Sec 9)".into(),
         expressible_as_swap(&auction_spec(DealId(8), &[10, 20, 30])).to_string(),
     ]);
-    t1.push_row(vec!["ring n=4".into(), expressible_as_swap(&ring_spec(DealId(9), 4)).to_string()]);
+    t1.push_row(vec![
+        "ring n=4".into(),
+        expressible_as_swap(&ring_spec(DealId(9), 4)).to_string(),
+    ]);
 
-    // Two-party exchange: HTLC swap vs two-party timelock deal.
-    let mut world = World::with_network(5, sync_net());
-    let c0 = world.add_chain("tickets", Duration(1));
-    let c1 = world.add_chain("coins", Duration(1));
-    let bob = world.add_party();
-    let carol = world.add_party();
-    world.mint(c0, Owner::Party(bob), &Asset::non_fungible("ticket", [1])).unwrap();
-    world.mint(c1, Owner::Party(carol), &Asset::fungible("coin", 100)).unwrap();
-    let swap = run_two_party_swap(
-        &mut world,
-        &SwapSpec {
-            leader: bob,
-            follower: carol,
-            leader_chain: c0,
-            leader_asset: Asset::non_fungible("ticket", [1]),
-            follower_chain: c1,
-            follower_asset: Asset::fungible("coin", 100),
-        },
-        Duration(DELTA),
-        false,
-    )
-    .unwrap();
-
-    let spec = two_party_deal();
-    let mut world = world_for_spec(&spec, sync_net(), 5).unwrap();
-    let deal = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
-
+    // Two-party exchange: the same deal under all three engines.
+    let deal = Deal::new(two_party_deal()).network(sync_net()).seed(5);
     let mut t2 = Table::new(
-        "Section 8 — two-party exchange: HTLC swap vs timelock deal",
-        &["mechanism", "storage writes", "sig verifications", "total gas", "duration/∆"],
+        "Section 8 — two-party exchange: HTLC swap vs commit-protocol deals",
+        &[
+            "mechanism",
+            "storage writes",
+            "sig verifications",
+            "total gas",
+            "duration/∆",
+        ],
     );
-    t2.push_row(vec![
-        "HTLC atomic swap".into(),
-        swap.gas.storage_writes.to_string(),
-        swap.gas.sig_verifications.to_string(),
-        swap.gas.total().to_string(),
-        format!("{:.2}", swap.duration.in_units_of(Duration(DELTA))),
-    ]);
-    let deal_gas = deal.outcome.metrics.total_gas();
-    t2.push_row(vec![
-        "timelock deal".into(),
-        deal_gas.storage_writes.to_string(),
-        deal_gas.sig_verifications.to_string(),
-        deal_gas.total().to_string(),
-        format!(
-            "{:.2}",
-            deal.outcome.metrics.total_duration().in_units_of(Duration(DELTA))
-        ),
-    ]);
+    for (label, engine) in standard_engines(DELTA) {
+        let run = deal.run(&engine).unwrap();
+        assert!(run.outcome.committed_everywhere());
+        let gas = run.outcome.metrics.total_gas();
+        t2.push_row(vec![
+            label,
+            gas.storage_writes.to_string(),
+            gas.sig_verifications.to_string(),
+            gas.total().to_string(),
+            format!(
+                "{:.2}",
+                run.outcome
+                    .metrics
+                    .total_duration()
+                    .in_units_of(Duration(DELTA))
+            ),
+        ]);
+    }
     vec![t1, t2]
 }
 
@@ -527,6 +650,8 @@ pub fn full_report() -> String {
     out.push('\n');
     out.push_str(&liveness_experiment().render());
     out.push('\n');
+    out.push_str(&protocol_matrix_experiment().1.render());
+    out.push('\n');
     out.push_str(&pow_attack_experiment(300).render());
     out.push('\n');
     out.push_str(&crossover_experiment(&[3, 4, 6, 8, 10], 2).render());
@@ -574,7 +699,10 @@ mod tests {
         assert!(forwarded[1].commit > forwarded[0].commit);
         assert!(cbc[1].commit <= 3.0 + 1e-9);
         // Sequential transfers scale with t, concurrent stay ~1∆.
-        let seq = rows.iter().find(|r| r.scenario.contains("timelock / sequential")).unwrap();
+        let seq = rows
+            .iter()
+            .find(|r| r.scenario.contains("timelock / sequential"))
+            .unwrap();
         assert!(seq.transfer >= 1.0);
     }
 
@@ -588,11 +716,43 @@ mod tests {
     }
 
     #[test]
+    fn protocol_matrix_covers_three_engines_and_two_networks() {
+        let (rows, _) = protocol_matrix_experiment();
+        // 2 deals × {timelock, CBC} × 2 networks, plus the swap engine on the
+        // one deal it can express × 2 networks.
+        assert_eq!(rows.len(), 10);
+        for (deal, engine, network, committed, safe) in &rows {
+            // Safety holds in every cell.
+            assert!(safe, "{deal}/{engine}/{network} violated safety");
+            // The CBC does not rely on synchrony: it commits everywhere.
+            if engine == "CBC" {
+                assert!(committed, "CBC should commit on {network}");
+            }
+            // Under full synchrony every engine commits.
+            if network == "synchronous" {
+                assert!(committed, "{engine} should commit under synchrony");
+            }
+        }
+        assert!(rows.iter().any(|(_, e, _, _, _)| e == "HTLC swap"));
+    }
+
+    #[test]
     fn swap_expressiveness_matches_section8() {
         let tables = swap_baseline_experiment();
         let rows = &tables[0].rows;
         assert_eq!(rows[0][1], "false"); // broker deal is not a swap
         assert_eq!(rows[1][1], "false"); // auction is not a swap
         assert_eq!(rows[2][1], "true"); // ring is
+
+        // The commit protocols cost at least as much gas as the plain HTLC
+        // swap: they buy generality the swap cannot express.
+        let cost = &tables[1].rows;
+        let swap_gas: u64 = cost.iter().find(|r| r[0] == "HTLC swap").unwrap()[3]
+            .parse()
+            .unwrap();
+        for row in cost.iter().filter(|r| r[0] != "HTLC swap") {
+            let deal_gas: u64 = row[3].parse().unwrap();
+            assert!(deal_gas >= swap_gas, "{row:?}");
+        }
     }
 }

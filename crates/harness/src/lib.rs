@@ -1,9 +1,10 @@
 //! # xchain-harness
 //!
-//! Workload generators, adversary sweeps, and the experiments that regenerate
-//! every table and figure of *Cross-chain Deals and Adversarial Commerce*
-//! (see DESIGN.md §3 for the per-experiment index and EXPERIMENTS.md for the
-//! measured results).
+//! Workload generators, adversary sweeps, the declarative [`sweep::Sweep`]
+//! API over the unified `DealEngine` abstraction, and the experiments that
+//! regenerate every table and figure of *Cross-chain Deals and Adversarial
+//! Commerce* (see DESIGN.md §3 for the per-experiment index and
+//! EXPERIMENTS.md for the measured results).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -11,4 +12,7 @@
 pub mod adversary;
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 pub mod workload;
+
+pub use sweep::{Sweep, SweepOutcome, SweepPoint};

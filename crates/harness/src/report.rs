@@ -28,9 +28,10 @@ impl Table {
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let cols = self.headers.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

@@ -1,0 +1,286 @@
+//! The engine-driven sweep API: one declarative cross-product over
+//! specifications × protocols × networks × adversary configurations,
+//! replacing the copy-pasted per-protocol experiment loops.
+//!
+//! ```
+//! use xchain_harness::sweep::{standard_engines, Sweep};
+//! use xchain_deals::builders::{broker_spec, ring_spec};
+//! use xchain_sim::ids::DealId;
+//! use xchain_sim::network::NetworkModel;
+//!
+//! let outcome = Sweep::new()
+//!     .spec("broker", broker_spec())
+//!     .spec("ring n=2", ring_spec(DealId(2), 2))
+//!     .over_protocols(standard_engines(100))
+//!     .over_networks(vec![
+//!         ("synchronous".into(), NetworkModel::synchronous(100)),
+//!         ("eventually synchronous".into(), NetworkModel::eventually_synchronous(500, 100, 1_000)),
+//!     ])
+//!     .seed(42)
+//!     .run()
+//!     .unwrap();
+//! // Engines skip specifications they cannot express (the swap engine only
+//! // handles two-party exchanges), so every produced point actually ran.
+//! assert!(outcome.points.iter().all(|p| p.run.outcome.fully_resolved()));
+//! ```
+
+use xchain_deals::engine::{DealEngine, Protocol};
+use xchain_deals::error::DealError;
+use xchain_deals::party::PartyConfig;
+use xchain_deals::spec::DealSpec;
+use xchain_deals::{Deal, DealRun};
+use xchain_sim::network::NetworkModel;
+use xchain_sim::time::Duration;
+use xchain_swap::SwapEngine;
+
+/// A labelled set of party behaviour configurations for one sweep cell.
+pub type AdversaryScenario = (String, Vec<PartyConfig>);
+
+/// Generates the adversary scenarios to run against one specification.
+pub type AdversaryGen = Box<dyn Fn(&DealSpec) -> Vec<AdversaryScenario>>;
+
+/// The three standard engines — timelock, CBC, and the HTLC swap — with
+/// default options and the given synchrony bound ∆ (in ticks) for the swap's
+/// HTLC timeouts.
+pub fn standard_engines(delta: u64) -> Vec<(String, Box<dyn DealEngine>)> {
+    vec![
+        (
+            "timelock".into(),
+            Box::new(Protocol::timelock()) as Box<dyn DealEngine>,
+        ),
+        ("CBC".into(), Box::new(Protocol::cbc())),
+        (
+            "HTLC swap".into(),
+            Box::new(SwapEngine::new(Duration(delta))),
+        ),
+    ]
+}
+
+/// The two commit-protocol engines (timelock and CBC) with default options.
+pub fn protocol_engines() -> Vec<(String, Box<dyn DealEngine>)> {
+    vec![
+        (
+            "timelock".into(),
+            Box::new(Protocol::timelock()) as Box<dyn DealEngine>,
+        ),
+        ("CBC".into(), Box::new(Protocol::cbc())),
+    ]
+}
+
+/// One executed cell of a sweep.
+pub struct SweepPoint {
+    /// Label of the deal specification.
+    pub spec: String,
+    /// Label of the engine that ran.
+    pub engine: String,
+    /// Label of the network model.
+    pub network: String,
+    /// Label of the adversary scenario.
+    pub adversary: String,
+    /// The specification that ran (for property checks over the point).
+    pub deal: DealSpec,
+    /// The party configurations that were in force.
+    pub configs: Vec<PartyConfig>,
+    /// The seed the cell ran with.
+    pub seed: u64,
+    /// The unified result.
+    pub run: DealRun,
+}
+
+/// The result of a sweep: every executed point, plus how many cells were
+/// skipped because an engine could not express a specification.
+pub struct SweepOutcome {
+    /// The executed cells, in deterministic iteration order.
+    pub points: Vec<SweepPoint>,
+    /// Cells skipped via [`DealEngine::supports`].
+    pub skipped: usize,
+}
+
+impl SweepOutcome {
+    /// The points produced by the given engine label.
+    pub fn by_engine(&self, engine: &str) -> Vec<&SweepPoint> {
+        self.points.iter().filter(|p| p.engine == engine).collect()
+    }
+}
+
+/// A declarative sweep over specifications × engines × networks × adversary
+/// scenarios. Every cell is executed through the [`Deal`] builder with a
+/// deterministic per-cell seed, so sweeps are reproducible end to end.
+pub struct Sweep {
+    specs: Vec<(String, DealSpec)>,
+    engines: Vec<(String, Box<dyn DealEngine>)>,
+    networks: Vec<(String, NetworkModel)>,
+    adversaries: AdversaryGen,
+    base_seed: u64,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep::new()
+    }
+}
+
+impl Sweep {
+    /// An empty sweep: no specifications yet, the two commit-protocol
+    /// engines, a synchronous ∆ = 100 network, and the all-compliant
+    /// scenario.
+    pub fn new() -> Self {
+        Sweep {
+            specs: Vec::new(),
+            engines: protocol_engines(),
+            networks: vec![("synchronous ∆=100".into(), NetworkModel::synchronous(100))],
+            adversaries: Box::new(|_| vec![("all compliant".into(), Vec::new())]),
+            base_seed: 0,
+        }
+    }
+
+    /// Adds one labelled specification.
+    pub fn spec(mut self, label: impl Into<String>, spec: DealSpec) -> Self {
+        self.specs.push((label.into(), spec));
+        self
+    }
+
+    /// Replaces the specifications with the given labelled set.
+    pub fn over_specs(mut self, specs: Vec<(String, DealSpec)>) -> Self {
+        self.specs = specs;
+        self
+    }
+
+    /// Replaces the engines with the given labelled set (see
+    /// [`standard_engines`] and [`protocol_engines`]).
+    pub fn over_protocols(mut self, engines: Vec<(String, Box<dyn DealEngine>)>) -> Self {
+        self.engines = engines;
+        self
+    }
+
+    /// Replaces the network models with the given labelled set.
+    pub fn over_networks(mut self, networks: Vec<(String, NetworkModel)>) -> Self {
+        self.networks = networks;
+        self
+    }
+
+    /// Replaces the adversary generator: for each specification it yields the
+    /// labelled behaviour configurations to run (see
+    /// [`crate::adversary::single_deviator_configs`] and friends).
+    pub fn over_adversaries<F>(mut self, gen: F) -> Self
+    where
+        F: Fn(&DealSpec) -> Vec<AdversaryScenario> + 'static,
+    {
+        self.adversaries = Box::new(gen);
+        self
+    }
+
+    /// Sets the base seed; each executed cell derives its own seed from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Executes the full cross-product and collects every point.
+    pub fn run(&self) -> Result<SweepOutcome, DealError> {
+        let mut points = Vec::new();
+        let mut skipped = 0;
+        let mut cell = 0u64;
+        for (spec_label, spec) in &self.specs {
+            let scenarios = (self.adversaries)(spec);
+            for (engine_label, engine) in &self.engines {
+                if !engine.supports(spec) {
+                    skipped += self.networks.len() * scenarios.len();
+                    continue;
+                }
+                for (net_label, network) in &self.networks {
+                    for (adv_label, configs) in &scenarios {
+                        let seed = self.base_seed.wrapping_add(cell);
+                        cell += 1;
+                        let run = Deal::new(spec.clone())
+                            .network(*network)
+                            .parties(configs)
+                            .seed(seed)
+                            .run(engine.as_ref())?;
+                        points.push(SweepPoint {
+                            spec: spec_label.clone(),
+                            engine: engine_label.clone(),
+                            network: net_label.clone(),
+                            adversary: adv_label.clone(),
+                            deal: spec.clone(),
+                            configs: configs.clone(),
+                            seed,
+                            run,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(SweepOutcome { points, skipped })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::single_deviator_configs;
+    use xchain_deals::builders::{broker_spec, ring_spec};
+    use xchain_deals::properties::check_safety;
+    use xchain_sim::ids::DealId;
+
+    #[test]
+    fn sweep_covers_the_cross_product_and_skips_unsupported_cells() {
+        let outcome = Sweep::new()
+            .spec("broker", broker_spec())
+            .spec("two-party ring", ring_spec(DealId(9), 2))
+            .over_protocols(standard_engines(100))
+            .over_networks(vec![
+                ("sync".into(), NetworkModel::synchronous(100)),
+                (
+                    "eventually sync".into(),
+                    NetworkModel::eventually_synchronous(0, 100, 100),
+                ),
+            ])
+            .seed(11)
+            .run()
+            .unwrap();
+        // 2 specs × 3 engines × 2 networks × 1 scenario, minus the swap
+        // engine's skipped broker cells (2 networks × 1 scenario).
+        assert_eq!(outcome.points.len(), 10);
+        assert_eq!(outcome.skipped, 2);
+        assert_eq!(outcome.by_engine("HTLC swap").len(), 2);
+        for p in &outcome.points {
+            assert!(
+                p.run.outcome.committed_everywhere(),
+                "{} / {} / {} should commit",
+                p.spec,
+                p.engine,
+                p.network
+            );
+        }
+    }
+
+    #[test]
+    fn adversary_generator_runs_per_spec() {
+        let outcome = Sweep::new()
+            .spec("broker", broker_spec())
+            .over_adversaries(|spec| {
+                let mut scenarios = vec![("all compliant".to_string(), Vec::new())];
+                scenarios.extend(
+                    single_deviator_configs(spec, 100)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, c)| (format!("deviator #{i}"), c)),
+                );
+                scenarios
+            })
+            .seed(23)
+            .run()
+            .unwrap();
+        // 1 spec × 2 engines × 1 network × (1 + 3 parties × 11 deviations).
+        assert_eq!(outcome.points.len(), 2 * (1 + 33));
+        for p in &outcome.points {
+            assert!(
+                check_safety(&p.deal, &p.configs, &p.run.outcome).holds(),
+                "{} / {} violated safety",
+                p.engine,
+                p.adversary
+            );
+        }
+    }
+}

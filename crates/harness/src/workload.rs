@@ -70,7 +70,7 @@ pub fn random_well_formed_deal(deal: DealId, params: &RandomDealParams, seed: u6
         let Some(&target) = others.choose(&mut rng) else {
             continue;
         };
-        let slice = rng.gen_range(1..=params.amount / 2.max(1));
+        let slice = rng.gen_range(1..=(params.amount / 2).max(1));
         transfers.push(TransferSpec {
             from: recipient,
             to: target,
@@ -95,7 +95,8 @@ mod tests {
                 amount: 50,
             };
             let spec = random_well_formed_deal(DealId(seed), &params, seed);
-            spec.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(is_well_formed(&spec), "seed {seed} not well formed");
         }
     }

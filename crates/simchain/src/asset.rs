@@ -9,13 +9,11 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::TokenId;
 
 /// Names an asset class, e.g. `"coin"` or `"ticket"`. One blockchain may host
 /// several kinds (e.g. several token contracts on the same chain).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AssetKind(pub String);
 
 impl AssetKind {
@@ -47,7 +45,7 @@ impl From<&str> for AssetKind {
 ///
 /// This is the unit in which deal specifications express transfers ("101
 /// coins", "tickets 12 and 13").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Asset {
     /// A fungible amount of the given kind.
     Fungible {
@@ -127,7 +125,7 @@ impl fmt::Display for Asset {
 
 /// A multi-kind bag of assets, used to describe a party's holdings and to
 /// compute "better off / worse off" comparisons for the safety property.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AssetBag {
     fungible: BTreeMap<AssetKind, u64>,
     non_fungible: BTreeMap<AssetKind, BTreeSet<TokenId>>,
@@ -209,8 +207,7 @@ impl AssetBag {
 
     /// True if the bag holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.fungible.values().all(|v| *v == 0)
-            && self.non_fungible.values().all(|s| s.is_empty())
+        self.fungible.values().all(|v| *v == 0) && self.non_fungible.values().all(|s| s.is_empty())
     }
 
     /// Component-wise comparison: true if `self` holds at least everything in

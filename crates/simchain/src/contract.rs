@@ -274,7 +274,9 @@ mod tests {
         let (mut gas, mut assets, keys, mut log, mut seq) = make_ctx_parts();
         let alice = Owner::Party(PartyId(0));
         let coin = AssetKind::new("coin");
-        assets.mint(alice, &Asset::fungible(coin.clone(), 100)).unwrap();
+        assets
+            .mint(alice, &Asset::fungible(coin.clone(), 100))
+            .unwrap();
         let mut ctx = CallCtx {
             chain: ChainId(0),
             contract: ContractId(1),
@@ -336,7 +338,9 @@ mod tests {
             log_seq: &mut seq,
         };
         assert!(ctx.verify_signature(&sig, kp.public(), &[1, 2, 3]).unwrap());
-        assert!(!ctx.verify_signature(&sig, other.public(), &[1, 2, 3]).unwrap());
+        assert!(!ctx
+            .verify_signature(&sig, other.public(), &[1, 2, 3])
+            .unwrap());
         assert!(!ctx.verify_signature(&sig, kp.public(), &[9]).unwrap());
         assert_eq!(gas.usage().sig_verifications, 3);
         assert_eq!(gas.usage(), {

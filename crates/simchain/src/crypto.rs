@@ -13,15 +13,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::PartyId;
 
 /// A 64-bit hash value. All on-chain hashing in the simulator uses this type
 /// (deal identifiers, startDeal hashes, HTLC hashlocks, block hashes, …).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Hash(pub u64);
 
 impl fmt::Display for Hash {
@@ -62,7 +58,7 @@ pub fn splitmix64(mut x: u64) -> u64 {
 
 /// A public key. Displayed and compared by value; knowing a public key does
 /// not let simulation code produce signatures (only [`KeyPair::sign`] does).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PublicKey(pub u64);
 
 impl fmt::Display for PublicKey {
@@ -116,7 +112,7 @@ impl KeyPair {
 }
 
 /// A signature over a message, attributable to a public key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature {
     /// The claimed signer.
     pub signer: PublicKey,
@@ -131,7 +127,12 @@ impl Signature {
     /// see [`verify_with_secret_oracle`]. Contract code never calls this
     /// directly — it goes through the gas-metered
     /// [`crate::contract::CallCtx::verify_signature`].
-    pub fn verify(&self, expected_signer: PublicKey, message: &[u8], oracle: &KeyDirectory) -> bool {
+    pub fn verify(
+        &self,
+        expected_signer: PublicKey,
+        message: &[u8],
+        oracle: &KeyDirectory,
+    ) -> bool {
         if self.signer != expected_signer {
             return false;
         }
@@ -175,10 +176,7 @@ impl KeyDirectory {
 
     /// Looks up which party registered a public key.
     pub fn party_of(&self, pk: PublicKey) -> Option<PartyId> {
-        self.parties
-            .iter()
-            .find(|(_, k)| *k == pk)
-            .map(|(p, _)| *p)
+        self.parties.iter().find(|(_, k)| *k == pk).map(|(p, _)| *p)
     }
 
     /// Verifies a signature over a message. Returns false for unknown signers.

@@ -9,8 +9,6 @@
 
 use std::ops::{Add, AddAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Gas charged per write to long-lived contract storage.
 pub const GAS_STORAGE_WRITE: u64 = 5_000;
 /// Gas charged per signature verification performed by a contract.
@@ -28,7 +26,7 @@ pub const GAS_BASE_CALL: u64 = 21_000;
 ///
 /// `GasUsage` is additive, so per-call receipts can be summed into per-phase
 /// and per-deal totals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GasUsage {
     /// Number of writes to long-lived storage.
     pub storage_writes: u64,

@@ -9,8 +9,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::asset::{Asset, AssetBag, AssetKind};
 use crate::contract::{CallCtx, Contract};
 use crate::crypto::{KeyDirectory, KeyPair};
@@ -166,7 +164,7 @@ impl AssetLedger {
 /// One entry in a chain's public log. Contracts append entries via
 /// [`CallCtx::emit`]; parties monitor chains by reading the log (subject to
 /// the network model's observation delay).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEntry {
     /// Monotonically increasing sequence number on this chain.
     pub seq: u64,
@@ -415,7 +413,8 @@ mod tests {
         assert_eq!(l.balance(alice, &"coin".into()), 100);
         assert_eq!(l.token_owner(&"ticket".into(), TokenId(1)), Some(bob));
 
-        l.transfer(alice, bob, &Asset::fungible("coin", 40)).unwrap();
+        l.transfer(alice, bob, &Asset::fungible("coin", 40))
+            .unwrap();
         assert_eq!(l.balance(alice, &"coin".into()), 60);
         assert_eq!(l.balance(bob, &"coin".into()), 40);
 
@@ -454,9 +453,7 @@ mod tests {
         let mut l = AssetLedger::new();
         let alice = Owner::Party(PartyId(0));
         l.mint(alice, &Asset::non_fungible("ticket", [1])).unwrap();
-        assert!(l
-            .mint(alice, &Asset::non_fungible("ticket", [1]))
-            .is_err());
+        assert!(l.mint(alice, &Asset::non_fungible("ticket", [1])).is_err());
     }
 
     #[test]
@@ -491,7 +488,12 @@ mod tests {
         let mut c = chain();
         let id = c.install(Counter::default());
         assert!(matches!(
-            c.call(Time(0), Owner::Party(PartyId(0)), ContractId(999), |_: &mut Counter, _| Ok(())),
+            c.call(
+                Time(0),
+                Owner::Party(PartyId(0)),
+                ContractId(999),
+                |_: &mut Counter, _| Ok(())
+            ),
             Err(ChainError::UnknownContract(_))
         ));
 
@@ -508,7 +510,12 @@ mod tests {
             }
         }
         assert!(matches!(
-            c.call(Time(0), Owner::Party(PartyId(0)), id, |_: &mut Other, _| Ok(())),
+            c.call(
+                Time(0),
+                Owner::Party(PartyId(0)),
+                id,
+                |_: &mut Other, _| Ok(())
+            ),
             Err(ChainError::ContractTypeMismatch(_))
         ));
         // contract survives the failed dispatch
@@ -522,8 +529,10 @@ mod tests {
         let id = c.install(Counter::default());
         let caller = Owner::Party(PartyId(0));
         for t in [5u64, 15, 25, 35] {
-            c.call(Time(t), caller, id, |ctr: &mut Counter, ctx| ctr.bump(ctx, 1))
-                .unwrap();
+            c.call(Time(t), caller, id, |ctr: &mut Counter, ctx| {
+                ctr.bump(ctx, 1)
+            })
+            .unwrap();
         }
         assert_eq!(c.log().len(), 4);
         assert_eq!(c.log_since(Time(20)).count(), 2);

@@ -38,7 +38,9 @@ pub mod world;
 
 pub use asset::{Asset, AssetBag, AssetKind};
 pub use contract::{CallCtx, Contract};
-pub use crypto::{hash_bytes, hash_words, Hash, KeyDirectory, KeyPair, PathSignature, PublicKey, Signature};
+pub use crypto::{
+    hash_bytes, hash_words, Hash, KeyDirectory, KeyPair, PathSignature, PublicKey, Signature,
+};
 pub use error::{ChainError, ChainResult};
 pub use gas::{GasMeter, GasUsage, GAS_SIG_VERIFY, GAS_STORAGE_WRITE};
 pub use ids::{ChainId, ContractId, DealId, Owner, PartyId, TokenId, ValidatorId};

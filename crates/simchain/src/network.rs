@@ -16,13 +16,12 @@
 //! [`OfflineSchedule`] models those.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::ids::PartyId;
 use crate::time::{Duration, Time};
 
 /// The network/observation timing model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetworkModel {
     /// Known bound `delta` on state-change observation latency.
     Synchronous {
@@ -125,7 +124,7 @@ impl Default for NetworkModel {
 
 /// A window during which a party cannot observe chains or submit transactions
 /// (crash, network partition, or targeted denial-of-service, Section 5.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OfflineWindow {
     /// The affected party.
     pub party: PartyId,

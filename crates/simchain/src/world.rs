@@ -88,7 +88,7 @@ impl World {
 
     /// Advances the clock by `d`.
     pub fn advance_by(&mut self, d: Duration) {
-        self.clock = self.clock + d;
+        self.clock += d;
     }
 
     // ------------------------------------------------------------------

@@ -69,8 +69,14 @@ impl HtlcContract {
 
     /// The depositor funds the contract.
     pub fn fund(&mut self, ctx: &mut CallCtx<'_>, asset: Asset) -> ChainResult<()> {
-        ctx.require(self.state == HtlcState::Created, "already funded or resolved")?;
-        ctx.require(ctx.caller_party()? == self.depositor, "only the depositor can fund")?;
+        ctx.require(
+            self.state == HtlcState::Created,
+            "already funded or resolved",
+        )?;
+        ctx.require(
+            ctx.caller_party()? == self.depositor,
+            "only the depositor can fund",
+        )?;
         ctx.require(!asset.is_empty(), "cannot fund with an empty asset")?;
         ctx.deposit_from_caller(&asset)?;
         ctx.charge_storage_write()?;
@@ -84,7 +90,10 @@ impl HtlcContract {
     pub fn claim(&mut self, ctx: &mut CallCtx<'_>, secret: u64) -> ChainResult<()> {
         ctx.require(self.state == HtlcState::Funded, "not funded")?;
         ctx.require(ctx.now() < self.timeout, "timed out")?;
-        ctx.require(ctx.caller_party()? == self.beneficiary, "only the beneficiary can claim")?;
+        ctx.require(
+            ctx.caller_party()? == self.beneficiary,
+            "only the beneficiary can claim",
+        )?;
         ctx.require(Self::hash_secret(secret) == self.hashlock, "wrong preimage")?;
         let asset = self.asset.clone().expect("funded");
         ctx.charge_storage_write()?;
@@ -129,7 +138,9 @@ mod tests {
 
     fn chain_with_coins(owner: PartyId) -> Blockchain {
         let mut chain = Blockchain::new(ChainId(0), "coins", Duration(1));
-        chain.mint(Owner::Party(owner), &Asset::fungible("coin", 50)).unwrap();
+        chain
+            .mint(Owner::Party(owner), &Asset::fungible("coin", 50))
+            .unwrap();
         chain
     }
 
@@ -139,24 +150,53 @@ mod tests {
         let bob = PartyId(1);
         let mut chain = chain_with_coins(alice);
         let secret = 777;
-        let id = chain.install(HtlcContract::new(alice, bob, HtlcContract::hash_secret(secret), Time(100)));
+        let id = chain.install(HtlcContract::new(
+            alice,
+            bob,
+            HtlcContract::hash_secret(secret),
+            Time(100),
+        ));
         chain
-            .call(Time(0), Owner::Party(alice), id, |h: &mut HtlcContract, ctx| {
-                h.fund(ctx, Asset::fungible("coin", 50))
-            })
+            .call(
+                Time(0),
+                Owner::Party(alice),
+                id,
+                |h: &mut HtlcContract, ctx| h.fund(ctx, Asset::fungible("coin", 50)),
+            )
             .unwrap();
         // Wrong secret and wrong caller are rejected.
         assert!(chain
-            .call(Time(10), Owner::Party(bob), id, |h: &mut HtlcContract, ctx| h.claim(ctx, 1))
+            .call(
+                Time(10),
+                Owner::Party(bob),
+                id,
+                |h: &mut HtlcContract, ctx| h.claim(ctx, 1)
+            )
             .is_err());
         assert!(chain
-            .call(Time(10), Owner::Party(alice), id, |h: &mut HtlcContract, ctx| h.claim(ctx, secret))
+            .call(
+                Time(10),
+                Owner::Party(alice),
+                id,
+                |h: &mut HtlcContract, ctx| h.claim(ctx, secret)
+            )
             .is_err());
         chain
-            .call(Time(10), Owner::Party(bob), id, |h: &mut HtlcContract, ctx| h.claim(ctx, secret))
+            .call(
+                Time(10),
+                Owner::Party(bob),
+                id,
+                |h: &mut HtlcContract, ctx| h.claim(ctx, secret),
+            )
             .unwrap();
-        assert_eq!(chain.assets().balance(Owner::Party(bob), &"coin".into()), 50);
-        assert_eq!(chain.view(id, |h: &HtlcContract| h.state()).unwrap(), HtlcState::Claimed);
+        assert_eq!(
+            chain.assets().balance(Owner::Party(bob), &"coin".into()),
+            50
+        );
+        assert_eq!(
+            chain.view(id, |h: &HtlcContract| h.state()).unwrap(),
+            HtlcState::Claimed
+        );
     }
 
     #[test]
@@ -164,23 +204,49 @@ mod tests {
         let alice = PartyId(0);
         let bob = PartyId(1);
         let mut chain = chain_with_coins(alice);
-        let id = chain.install(HtlcContract::new(alice, bob, HtlcContract::hash_secret(9), Time(100)));
+        let id = chain.install(HtlcContract::new(
+            alice,
+            bob,
+            HtlcContract::hash_secret(9),
+            Time(100),
+        ));
         chain
-            .call(Time(0), Owner::Party(alice), id, |h: &mut HtlcContract, ctx| {
-                h.fund(ctx, Asset::fungible("coin", 50))
-            })
+            .call(
+                Time(0),
+                Owner::Party(alice),
+                id,
+                |h: &mut HtlcContract, ctx| h.fund(ctx, Asset::fungible("coin", 50)),
+            )
             .unwrap();
         // Too early to refund; too late to claim after the timeout.
         assert!(matches!(
-            chain.call(Time(50), Owner::Party(alice), id, |h: &mut HtlcContract, ctx| h.refund(ctx)),
+            chain.call(
+                Time(50),
+                Owner::Party(alice),
+                id,
+                |h: &mut HtlcContract, ctx| h.refund(ctx)
+            ),
             Err(ChainError::Require(_))
         ));
         assert!(chain
-            .call(Time(100), Owner::Party(bob), id, |h: &mut HtlcContract, ctx| h.claim(ctx, 9))
+            .call(
+                Time(100),
+                Owner::Party(bob),
+                id,
+                |h: &mut HtlcContract, ctx| h.claim(ctx, 9)
+            )
             .is_err());
         chain
-            .call(Time(100), Owner::Party(alice), id, |h: &mut HtlcContract, ctx| h.refund(ctx))
+            .call(
+                Time(100),
+                Owner::Party(alice),
+                id,
+                |h: &mut HtlcContract, ctx| h.refund(ctx),
+            )
             .unwrap();
-        assert_eq!(chain.assets().balance(Owner::Party(alice), &"coin".into()), 50);
+        assert_eq!(
+            chain.assets().balance(Owner::Party(alice), &"coin".into()),
+            50
+        );
     }
 }

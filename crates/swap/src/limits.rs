@@ -13,13 +13,13 @@ use xchain_deals::spec::DealSpec;
 /// transfer depends on an asset acquired within the deal.
 pub fn expressible_as_swap(spec: &DealSpec) -> bool {
     spec.parties.iter().all(|&p| {
-        let escrowed = spec
-            .escrows_of(p)
-            .iter()
-            .fold(xchain_sim::asset::AssetBag::new(), |mut bag, e| {
-                bag.add(&e.asset);
-                bag
-            });
+        let escrowed =
+            spec.escrows_of(p)
+                .iter()
+                .fold(xchain_sim::asset::AssetBag::new(), |mut bag, e| {
+                    bag.add(&e.asset);
+                    bag
+                });
         escrowed.covers(&spec.outgoing_of(p))
     })
 }

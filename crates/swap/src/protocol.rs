@@ -63,23 +63,39 @@ pub fn run_two_party_swap(
 
     let leader_htlc = world
         .chain_mut(spec.leader_chain)?
-        .install(HtlcContract::new(spec.leader, spec.follower, hashlock, leader_timeout));
+        .install(HtlcContract::new(
+            spec.leader,
+            spec.follower,
+            hashlock,
+            leader_timeout,
+        ));
     let follower_htlc = world
         .chain_mut(spec.follower_chain)?
-        .install(HtlcContract::new(spec.follower, spec.leader, hashlock, follower_timeout));
+        .install(HtlcContract::new(
+            spec.follower,
+            spec.leader,
+            hashlock,
+            follower_timeout,
+        ));
 
     // Leader funds first.
-    world.call(spec.leader_chain, Owner::Party(spec.leader), leader_htlc, |h: &mut HtlcContract, ctx| {
-        h.fund(ctx, spec.leader_asset.clone())
-    })?;
+    world.call(
+        spec.leader_chain,
+        Owner::Party(spec.leader),
+        leader_htlc,
+        |h: &mut HtlcContract, ctx| h.fund(ctx, spec.leader_asset.clone()),
+    )?;
     advance(world);
 
     if follower_defects {
         // Nothing more happens; the leader reclaims after its timeout.
         world.advance_to(leader_timeout);
-        world.call(spec.leader_chain, Owner::Party(spec.leader), leader_htlc, |h: &mut HtlcContract, ctx| {
-            h.refund(ctx)
-        })?;
+        world.call(
+            spec.leader_chain,
+            Owner::Party(spec.leader),
+            leader_htlc,
+            |h: &mut HtlcContract, ctx| h.refund(ctx),
+        )?;
         return Ok(SwapOutcome {
             swapped: false,
             gas: gas_before.delta_to(&world.total_gas()),
@@ -88,21 +104,30 @@ pub fn run_two_party_swap(
     }
 
     // Follower funds its side after observing the leader's escrow.
-    world.call(spec.follower_chain, Owner::Party(spec.follower), follower_htlc, |h: &mut HtlcContract, ctx| {
-        h.fund(ctx, spec.follower_asset.clone())
-    })?;
+    world.call(
+        spec.follower_chain,
+        Owner::Party(spec.follower),
+        follower_htlc,
+        |h: &mut HtlcContract, ctx| h.fund(ctx, spec.follower_asset.clone()),
+    )?;
     advance(world);
 
     // Leader claims the follower's asset, revealing the secret on-chain.
-    world.call(spec.follower_chain, Owner::Party(spec.leader), follower_htlc, |h: &mut HtlcContract, ctx| {
-        h.claim(ctx, secret)
-    })?;
+    world.call(
+        spec.follower_chain,
+        Owner::Party(spec.leader),
+        follower_htlc,
+        |h: &mut HtlcContract, ctx| h.claim(ctx, secret),
+    )?;
     advance(world);
 
     // Follower observes the revealed secret and claims the leader's asset.
-    world.call(spec.leader_chain, Owner::Party(spec.follower), leader_htlc, |h: &mut HtlcContract, ctx| {
-        h.claim(ctx, secret)
-    })?;
+    world.call(
+        spec.leader_chain,
+        Owner::Party(spec.follower),
+        leader_htlc,
+        |h: &mut HtlcContract, ctx| h.claim(ctx, secret),
+    )?;
 
     Ok(SwapOutcome {
         swapped: true,
@@ -128,8 +153,12 @@ mod tests {
         let c1 = world.add_chain("coins", Duration(1));
         let bob = world.add_party();
         let carol = world.add_party();
-        world.mint(c0, Owner::Party(bob), &Asset::non_fungible("ticket", [1])).unwrap();
-        world.mint(c1, Owner::Party(carol), &Asset::fungible("coin", 100)).unwrap();
+        world
+            .mint(c0, Owner::Party(bob), &Asset::non_fungible("ticket", [1]))
+            .unwrap();
+        world
+            .mint(c1, Owner::Party(carol), &Asset::fungible("coin", 100))
+            .unwrap();
         (
             world,
             SwapSpec {
@@ -152,7 +181,9 @@ mod tests {
             .holdings(Owner::Party(spec.follower))
             .contains(&Asset::non_fungible("ticket", [1])));
         assert_eq!(
-            world.holdings(Owner::Party(spec.leader)).balance(&"coin".into()),
+            world
+                .holdings(Owner::Party(spec.leader))
+                .balance(&"coin".into()),
             100
         );
         assert!(out.gas.storage_writes > 0);
@@ -167,7 +198,9 @@ mod tests {
             .holdings(Owner::Party(spec.leader))
             .contains(&Asset::non_fungible("ticket", [1])));
         assert_eq!(
-            world.holdings(Owner::Party(spec.follower)).balance(&"coin".into()),
+            world
+                .holdings(Owner::Party(spec.follower))
+                .balance(&"coin".into()),
             100
         );
     }

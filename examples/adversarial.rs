@@ -1,29 +1,39 @@
 //! Adversarial commerce in action: the same broker deal executed against a
 //! range of deviating counterparties, showing that compliant parties are never
 //! left worse off (Property 1) and never have assets locked up forever
-//! (Property 2), under both commit protocols.
+//! (Property 2), under both commit protocols — each scenario is one `Deal`
+//! session run through two engines.
 //!
 //! Run with: `cargo run -p xchain-harness --example adversarial`
 
 use xchain_deals::builders::broker_spec;
-use xchain_deals::cbc::{run_cbc, CbcOptions};
 use xchain_deals::party::{Deviation, PartyConfig};
 use xchain_deals::phases::Phase;
 use xchain_deals::properties::{check_safety, check_weak_liveness};
-use xchain_deals::setup::world_for_spec;
-use xchain_deals::timelock::{run_timelock, TimelockOptions};
+use xchain_deals::{Deal, Protocol};
 use xchain_sim::ids::PartyId;
 use xchain_sim::network::NetworkModel;
 
 fn main() {
-    let spec = broker_spec();
     let bob = PartyId(1);
     let carol = PartyId(2);
     let scenarios: Vec<(&str, Vec<PartyConfig>)> = vec![
         ("everyone compliant", vec![]),
-        ("Bob never escrows his tickets", vec![PartyConfig::deviating(bob, Deviation::RefuseEscrow)]),
-        ("Carol withholds her commit vote", vec![PartyConfig::deviating(carol, Deviation::WithholdVote)]),
-        ("Bob crashes right after the transfer phase", vec![PartyConfig::deviating(bob, Deviation::CrashAfter(Phase::Transfer))]),
+        (
+            "Bob never escrows his tickets",
+            vec![PartyConfig::deviating(bob, Deviation::RefuseEscrow)],
+        ),
+        (
+            "Carol withholds her commit vote",
+            vec![PartyConfig::deviating(carol, Deviation::WithholdVote)],
+        ),
+        (
+            "Bob crashes right after the transfer phase",
+            vec![PartyConfig::deviating(
+                bob,
+                Deviation::CrashAfter(Phase::Transfer),
+            )],
+        ),
         (
             "Bob and Carol both walk away before voting",
             vec![
@@ -34,18 +44,20 @@ fn main() {
     ];
 
     for (label, configs) in scenarios {
-        let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), 11).unwrap();
-        let tl = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
-        let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), 12).unwrap();
-        let cbc = run_cbc(&mut world, &spec, &configs, &CbcOptions::default()).unwrap();
+        let deal = Deal::new(broker_spec())
+            .network(NetworkModel::synchronous(100))
+            .parties(&configs)
+            .seed(11);
         println!("scenario: {label}");
-        for (proto, outcome) in [("timelock", &tl.outcome), ("CBC", &cbc.outcome)] {
+        for protocol in [Protocol::timelock(), Protocol::cbc()] {
+            let run = deal.run(&protocol).unwrap();
             println!(
-                "  {proto:>8}: committed={} aborted={} safety={} weak-liveness={}",
-                outcome.committed_everywhere(),
-                outcome.aborted_everywhere(),
-                check_safety(&spec, &configs, outcome).holds(),
-                check_weak_liveness(&spec, &configs, outcome),
+                "  {:>8}: committed={} aborted={} safety={} weak-liveness={}",
+                run.outcome.protocol,
+                run.outcome.committed_everywhere(),
+                run.outcome.aborted_everywhere(),
+                check_safety(deal.spec(), &configs, &run.outcome).holds(),
+                check_weak_liveness(deal.spec(), &configs, &run.outcome),
             );
         }
     }

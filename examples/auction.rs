@@ -1,13 +1,13 @@
 //! The Section 9 auction deal: Alice auctions a ticket; Bob and Carol bid
 //! coins; the highest bidder wins the ticket and the losing bid is returned.
-//! Executed under the CBC commit protocol.
+//! Executed under the CBC commit protocol through the `Deal` builder.
 //!
 //! Run with: `cargo run -p xchain-harness --example auction`
 
 use xchain_deals::builders::auction_spec;
-use xchain_deals::cbc::{run_cbc, CbcOptions};
+use xchain_deals::cbc::CbcOptions;
 use xchain_deals::properties::check_safety;
-use xchain_deals::setup::world_for_spec;
+use xchain_deals::{Deal, Protocol};
 use xchain_sim::asset::Asset;
 use xchain_sim::ids::{DealId, Owner, PartyId};
 use xchain_sim::network::NetworkModel;
@@ -15,22 +15,46 @@ use xchain_sim::network::NetworkModel;
 fn main() {
     // Party 0 is the seller; parties 1 and 2 bid 80 and 95 coins.
     let bids = [80u64, 95];
-    let spec = auction_spec(DealId(9), &bids);
     // The CBC protocol tolerates an eventually-synchronous network.
-    let network = NetworkModel::eventually_synchronous(500, 100, 2_000);
-    let mut world = world_for_spec(&spec, network, 7).unwrap();
-    let run = run_cbc(&mut world, &spec, &[], &CbcOptions { f: 1, ..CbcOptions::default() }).unwrap();
+    let deal = Deal::new(auction_spec(DealId(9), &bids))
+        .network(NetworkModel::eventually_synchronous(500, 100, 2_000))
+        .seed(7);
+    let run = deal
+        .run(Protocol::Cbc(CbcOptions {
+            f: 1,
+            ..CbcOptions::default()
+        }))
+        .unwrap();
 
-    println!("deal status on the CBC: {:?}", run.status);
-    println!("committed everywhere:   {}", run.outcome.committed_everywhere());
-    println!("safety holds:           {}", check_safety(&spec, &[], &run.outcome).holds());
+    println!(
+        "deal status on the CBC: {:?}",
+        run.ext.cbc_status().unwrap()
+    );
+    println!(
+        "committed everywhere:   {}",
+        run.outcome.committed_everywhere()
+    );
+    println!(
+        "safety holds:           {}",
+        check_safety(deal.spec(), &[], &run.outcome).holds()
+    );
     let winner = PartyId(2);
     println!(
         "winner (bid 95) holds the ticket: {}",
-        world
+        run.world
             .holdings(Owner::Party(winner))
             .contains(&Asset::non_fungible("ticket", [1]))
     );
-    println!("seller's coins: {}", world.holdings(Owner::Party(PartyId(0))).balance(&"coin".into()));
-    println!("losing bidder's refunded coins: {}", world.holdings(Owner::Party(PartyId(1))).balance(&"coin".into()));
+    println!(
+        "seller's coins: {}",
+        run.world
+            .holdings(Owner::Party(PartyId(0)))
+            .balance(&"coin".into())
+    );
+    println!(
+        "losing bidder's refunded coins: {}",
+        run.world
+            .holdings(Owner::Party(PartyId(1)))
+            .balance(&"coin".into())
+    );
 }

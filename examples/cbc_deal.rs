@@ -1,47 +1,70 @@
 //! A deal executed over the certified blockchain (CBC) while the network is
 //! still asynchronous (before the global stabilization time), including the
-//! block-proof resolution path and a censorship scenario.
+//! block-proof resolution path and a censorship scenario — all through the
+//! unified `Deal` builder.
 //!
 //! Run with: `cargo run -p xchain-harness --example cbc_deal`
 
 use xchain_deals::builders::ring_spec;
-use xchain_deals::cbc::{run_cbc, CbcOptions};
+use xchain_deals::cbc::CbcOptions;
 use xchain_deals::properties::{check_safety, check_weak_liveness};
-use xchain_deals::setup::world_for_spec;
+use xchain_deals::{Deal, Protocol};
 use xchain_sim::ids::{DealId, PartyId};
 use xchain_sim::network::NetworkModel;
 
 fn main() {
-    let spec = ring_spec(DealId(21), 5);
     // GST far in the future: every observation before it may take up to 3000
     // ticks even though ∆ = 100. The CBC protocol still commits safely.
     let network = NetworkModel::eventually_synchronous(1_000_000, 100, 3_000);
+    let deal = Deal::new(ring_spec(DealId(21), 5)).network(network).seed(5);
 
-    let mut world = world_for_spec(&spec, network, 5).unwrap();
-    let run = run_cbc(&mut world, &spec, &[], &CbcOptions { f: 2, ..CbcOptions::default() }).unwrap();
-    println!("pre-GST run:   status={:?} committed={}", run.status, run.outcome.committed_everywhere());
-    println!("  CBC log has {} certified blocks (f = 2, validators = 7)", run.log.len());
+    let run = deal
+        .run(Protocol::Cbc(CbcOptions {
+            f: 2,
+            ..CbcOptions::default()
+        }))
+        .unwrap();
+    println!(
+        "pre-GST run:   status={:?} committed={}",
+        run.ext.cbc_status().unwrap(),
+        run.outcome.committed_everywhere()
+    );
+    println!(
+        "  CBC log has {} certified blocks (f = 2, validators = 7)",
+        run.ext.cbc_log().unwrap().len()
+    );
 
     // Same deal, resolved with full block-range proofs instead of status
     // certificates: same outcome, more signature verifications.
-    let mut world = world_for_spec(&spec, network, 6).unwrap();
-    let opts = CbcOptions { f: 2, use_block_proofs: true, ..CbcOptions::default() };
-    let run_proofs = run_cbc(&mut world, &spec, &[], &opts).unwrap();
+    let opts = CbcOptions {
+        f: 2,
+        use_block_proofs: true,
+        ..CbcOptions::default()
+    };
+    let run_proofs = deal.seed(6).run(Protocol::Cbc(opts)).unwrap();
     println!(
         "block proofs:  committed={} commit-phase signature verifications={}",
         run_proofs.outcome.committed_everywhere(),
-        run_proofs.outcome.metrics.gas(xchain_deals::phases::Phase::Commit).sig_verifications
+        run_proofs
+            .outcome
+            .metrics
+            .gas(xchain_deals::phases::Phase::Commit)
+            .sig_verifications
     );
 
     // Censorship: the validators ignore party 3's submissions. The deal can no
     // longer commit, but it aborts everywhere and nobody loses assets.
-    let mut world = world_for_spec(&spec, network, 7).unwrap();
-    let opts = CbcOptions { f: 2, censored_parties: vec![PartyId(3)], ..CbcOptions::default() };
-    let censored = run_cbc(&mut world, &spec, &[], &opts).unwrap();
+    let deal = Deal::new(ring_spec(DealId(21), 5)).network(network).seed(7);
+    let opts = CbcOptions {
+        f: 2,
+        censored_parties: vec![PartyId(3)],
+        ..CbcOptions::default()
+    };
+    let censored = deal.run(Protocol::Cbc(opts)).unwrap();
     println!(
         "censorship:    aborted={} safety={} weak-liveness={}",
         censored.outcome.aborted_everywhere(),
-        check_safety(&spec, &[], &censored.outcome).holds(),
-        check_weak_liveness(&spec, &[], &censored.outcome),
+        check_safety(deal.spec(), &[], &censored.outcome).holds(),
+        check_weak_liveness(deal.spec(), &[], &censored.outcome),
     );
 }

@@ -1,5 +1,6 @@
-//! Quickstart: run the paper's Figure 1 broker deal end-to-end under the
-//! timelock commit protocol and check the safety property.
+//! Quickstart: run the paper's Figure 1 broker deal end-to-end through the
+//! unified `Deal` builder, under both commit protocols, and check the safety
+//! property.
 //!
 //! Run with: `cargo run -p xchain-harness --example quickstart`
 
@@ -7,34 +8,63 @@ use std::collections::BTreeMap;
 
 use xchain_deals::builders::broker_spec;
 use xchain_deals::properties::{check_safety, check_strong_liveness};
-use xchain_deals::setup::world_for_spec;
-use xchain_deals::timelock::{run_timelock, TimelockOptions};
+use xchain_deals::{Deal, Protocol};
 use xchain_sim::ids::{Owner, PartyId};
 use xchain_sim::network::NetworkModel;
 
 fn main() {
     // Alice (party 0) brokers Bob's (1) tickets to Carol (2) for 101 coins.
-    let spec = broker_spec();
     let mut names = BTreeMap::new();
     names.insert(PartyId(0), "Alice".to_string());
     names.insert(PartyId(1), "Bob".to_string());
     names.insert(PartyId(2), "Carol".to_string());
-    println!("The deal matrix (Figure 1):\n{}", spec.matrix_string(&names));
 
-    // A synchronous network with bound ∆ = 100 ticks.
-    let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), 42).unwrap();
-    let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
+    // One session: spec + network + seed. The builder creates the chains,
+    // parties and escrowed assets; `run` executes any engine.
+    let deal = Deal::new(broker_spec())
+        .network(NetworkModel::synchronous(100))
+        .seed(42);
+    println!(
+        "The deal matrix (Figure 1):\n{}",
+        deal.spec().matrix_string(&names)
+    );
 
-    println!("committed everywhere: {}", run.outcome.committed_everywhere());
-    println!("safety holds:         {}", check_safety(&spec, &[], &run.outcome).holds());
-    println!("strong liveness:      {}", check_strong_liveness(&spec, &[], &run.outcome));
-    for (name, p) in [("Alice", PartyId(0)), ("Bob", PartyId(1)), ("Carol", PartyId(2))] {
-        println!("{name:>6} now holds: {}", world.holdings(Owner::Party(p)));
+    let run = deal.run(Protocol::timelock()).unwrap();
+    println!(
+        "committed everywhere: {}",
+        run.outcome.committed_everywhere()
+    );
+    println!(
+        "safety holds:         {}",
+        check_safety(deal.spec(), &[], &run.outcome).holds()
+    );
+    println!(
+        "strong liveness:      {}",
+        check_strong_liveness(deal.spec(), &[], &run.outcome)
+    );
+    for (name, p) in [
+        ("Alice", PartyId(0)),
+        ("Bob", PartyId(1)),
+        ("Carol", PartyId(2)),
+    ] {
+        println!(
+            "{name:>6} now holds: {}",
+            run.world.holdings(Owner::Party(p))
+        );
     }
     println!(
         "total gas: {} ({} storage writes, {} signature verifications)",
         run.outcome.metrics.total_gas().total(),
         run.outcome.metrics.total_gas().storage_writes,
         run.outcome.metrics.total_gas().sig_verifications,
+    );
+
+    // The same session runs unchanged under the CBC protocol — protocols are
+    // pluggable engines over the same deal graph.
+    let cbc = deal.run(Protocol::cbc()).unwrap();
+    println!(
+        "same deal under CBC:  committed={} status={:?}",
+        cbc.outcome.committed_everywhere(),
+        cbc.ext.cbc_status().unwrap()
     );
 }

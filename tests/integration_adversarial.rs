@@ -1,10 +1,9 @@
-//! Integration tests: exhaustive adversarial sweeps across both protocols.
+//! Integration tests: exhaustive adversarial sweeps across both protocols,
+//! expressed as one declarative `Sweep` instead of per-protocol loops.
 
-use xchain_deals::cbc::{run_cbc, CbcOptions};
 use xchain_deals::properties::{check_conservation, check_safety, check_weak_liveness};
-use xchain_deals::setup::world_for_spec;
-use xchain_deals::timelock::{run_timelock, TimelockOptions};
 use xchain_harness::adversary::{all_but_one_deviate, single_deviator_configs};
+use xchain_harness::sweep::{protocol_engines, Sweep};
 use xchain_harness::workload::{broker_spec, ring_spec};
 use xchain_sim::ids::DealId;
 use xchain_sim::network::NetworkModel;
@@ -13,36 +12,69 @@ const DELTA: u64 = 100;
 
 #[test]
 fn single_deviator_sweep_holds_all_properties_for_both_protocols() {
-    for spec in [broker_spec(), ring_spec(DealId(11), 4)] {
-        for (i, configs) in single_deviator_configs(&spec, DELTA).into_iter().enumerate() {
-            let mut world = world_for_spec(&spec, NetworkModel::synchronous(DELTA), i as u64).unwrap();
-            let tl = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
-            assert!(check_safety(&spec, &configs, &tl.outcome).holds(), "timelock {configs:?}");
-            assert!(check_weak_liveness(&spec, &configs, &tl.outcome), "timelock {configs:?}");
-            assert!(check_conservation(&spec, &tl.outcome), "timelock {configs:?}");
-
-            let mut world = world_for_spec(&spec, NetworkModel::synchronous(DELTA), 1000 + i as u64).unwrap();
-            let cbc = run_cbc(&mut world, &spec, &configs, &CbcOptions::default()).unwrap();
-            assert!(check_safety(&spec, &configs, &cbc.outcome).holds(), "cbc {configs:?}");
-            assert!(check_weak_liveness(&spec, &configs, &cbc.outcome), "cbc {configs:?}");
-            assert!(check_conservation(&spec, &cbc.outcome), "cbc {configs:?}");
-        }
+    let outcome = Sweep::new()
+        .spec("broker", broker_spec())
+        .spec("ring n=4", ring_spec(DealId(11), 4))
+        .over_protocols(protocol_engines())
+        .over_networks(vec![(
+            "synchronous".into(),
+            NetworkModel::synchronous(DELTA),
+        )])
+        .over_adversaries(|spec| {
+            single_deviator_configs(spec, DELTA)
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| (format!("single deviator #{i}"), c))
+                .collect()
+        })
+        .seed(1)
+        .run()
+        .unwrap();
+    assert!(!outcome.points.is_empty());
+    assert_eq!(outcome.skipped, 0);
+    for p in &outcome.points {
+        let label = format!("{} / {} / {}", p.spec, p.engine, p.adversary);
+        assert!(
+            check_safety(&p.deal, &p.configs, &p.run.outcome).holds(),
+            "{label}"
+        );
+        assert!(
+            check_weak_liveness(&p.deal, &p.configs, &p.run.outcome),
+            "{label}"
+        );
+        assert!(check_conservation(&p.deal, &p.run.outcome), "{label}");
     }
 }
 
 #[test]
 fn lone_honest_party_survives_everyone_else_deviating() {
-    let spec = broker_spec();
-    for &honest in &spec.parties {
-        for (i, configs) in all_but_one_deviate(&spec, honest, DELTA).into_iter().enumerate() {
-            let mut world = world_for_spec(&spec, NetworkModel::synchronous(DELTA), 7 + i as u64).unwrap();
-            let tl = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
-            let report = check_safety(&spec, &configs, &tl.outcome);
-            assert!(report.holds(), "timelock honest={honest} {configs:?}: {:?}", report.violations);
-
-            let mut world = world_for_spec(&spec, NetworkModel::synchronous(DELTA), 99 + i as u64).unwrap();
-            let cbc = run_cbc(&mut world, &spec, &configs, &CbcOptions::default()).unwrap();
-            assert!(check_safety(&spec, &configs, &cbc.outcome).holds(), "cbc honest={honest} {configs:?}");
-        }
+    let outcome = Sweep::new()
+        .spec("broker", broker_spec())
+        .over_protocols(protocol_engines())
+        .over_adversaries(|spec| {
+            let mut scenarios = Vec::new();
+            for &honest in &spec.parties {
+                scenarios.extend(
+                    all_but_one_deviate(spec, honest, DELTA)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, c)| (format!("honest={honest} #{i}"), c)),
+                );
+            }
+            scenarios
+        })
+        .seed(7)
+        .run()
+        .unwrap();
+    assert!(!outcome.points.is_empty());
+    for p in &outcome.points {
+        let report = check_safety(&p.deal, &p.configs, &p.run.outcome);
+        assert!(
+            report.holds(),
+            "{} / {}: {:?}",
+            p.engine,
+            p.adversary,
+            report.violations
+        );
     }
 }

@@ -1,0 +1,126 @@
+//! The engine × spec × adversary matrix: every builder specification runs
+//! through every `DealEngine` (timelock, CBC, and the HTLC swap where
+//! expressible), under both the all-compliant and single-deviator
+//! configurations, and the paper's safety and conservation properties must
+//! hold at every point.
+
+use xchain_deals::builders::{auction_spec, broker_spec, brokered_chain_spec, ring_spec};
+use xchain_deals::engine::DealEngine;
+use xchain_deals::party::{Deviation, PartyConfig};
+use xchain_deals::properties::{check_conservation, check_safety, check_weak_liveness};
+use xchain_deals::{Deal, Protocol};
+use xchain_harness::sweep::{standard_engines, Sweep};
+use xchain_sim::ids::DealId;
+use xchain_sim::network::NetworkModel;
+use xchain_swap::SwapEngine;
+
+const DELTA: u64 = 100;
+
+fn all_specs() -> Vec<(String, xchain_deals::spec::DealSpec)> {
+    vec![
+        ("broker".into(), broker_spec()),
+        ("ring n=2".into(), ring_spec(DealId(12), 2)),
+        ("ring n=4".into(), ring_spec(DealId(14), 4)),
+        (
+            "auction 3 bidders".into(),
+            auction_spec(DealId(20), &[30, 55, 42]),
+        ),
+        (
+            "brokered chain n=5".into(),
+            brokered_chain_spec(DealId(30), 5, 60),
+        ),
+    ]
+}
+
+/// Every single-deviator scenario for the matrix: one per (party, deviation)
+/// over a compact but protocol-spanning deviation set.
+fn matrix_adversaries(spec: &xchain_deals::spec::DealSpec) -> Vec<(String, Vec<PartyConfig>)> {
+    let deviations = [
+        Deviation::RefuseEscrow,
+        Deviation::WithholdVote,
+        Deviation::VoteAbort,
+        Deviation::RejectValidation,
+    ];
+    let mut scenarios = vec![("all compliant".to_string(), Vec::new())];
+    for &p in &spec.parties {
+        for d in deviations {
+            scenarios.push((
+                format!("{p} deviates with {d:?}"),
+                vec![PartyConfig::deviating(p, d)],
+            ));
+        }
+    }
+    scenarios
+}
+
+#[test]
+fn every_spec_through_every_engine_preserves_safety_and_conservation() {
+    let outcome = Sweep::new()
+        .over_specs(all_specs())
+        .over_protocols(standard_engines(DELTA))
+        .over_networks(vec![(
+            "synchronous".into(),
+            NetworkModel::synchronous(DELTA),
+        )])
+        .over_adversaries(matrix_adversaries)
+        .seed(4242)
+        .run()
+        .unwrap();
+
+    // Timelock and CBC support every spec; the swap engine only the two-party
+    // ring, so exactly 4 spec × adversary blocks are skipped for it.
+    assert!(outcome.points.len() > 100, "got {}", outcome.points.len());
+    assert!(outcome.skipped > 0);
+
+    for p in &outcome.points {
+        let label = format!("{} / {} / {}", p.spec, p.engine, p.adversary);
+        let report = check_safety(&p.deal, &p.configs, &p.run.outcome);
+        assert!(report.holds(), "{label}: {:?}", report.violations);
+        assert!(check_conservation(&p.deal, &p.run.outcome), "{label}");
+        assert!(
+            check_weak_liveness(&p.deal, &p.configs, &p.run.outcome),
+            "{label}"
+        );
+        // All-compliant cells must commit everywhere under synchrony.
+        if p.configs.is_empty() {
+            assert!(p.run.outcome.committed_everywhere(), "{label}");
+        }
+    }
+
+    // All three engines actually produced points.
+    for engine in ["timelock", "CBC", "HTLC swap"] {
+        assert!(
+            !outcome.by_engine(engine).is_empty(),
+            "no points for {engine}"
+        );
+    }
+}
+
+#[test]
+fn swap_engine_agrees_with_commit_protocols_on_the_two_party_ring() {
+    // On the one spec all three engines can express, their outcomes must
+    // agree: all-compliant → everyone commits; a deviating escrower → every
+    // engine aborts without harming the compliant party.
+    let spec = ring_spec(DealId(2), 2);
+    let engines: Vec<(&str, Box<dyn DealEngine>)> = vec![
+        ("timelock", Box::new(Protocol::timelock())),
+        ("CBC", Box::new(Protocol::cbc())),
+        ("HTLC swap", Box::new(SwapEngine::default())),
+    ];
+    for (name, engine) in &engines {
+        let deal = Deal::new(spec.clone()).seed(77);
+        let run = deal.run(engine).unwrap();
+        assert!(run.outcome.committed_everywhere(), "{name} compliant");
+
+        let deal = deal.parties(&[PartyConfig::deviating(
+            xchain_sim::ids::PartyId(1),
+            Deviation::RefuseEscrow,
+        )]);
+        let run = deal.run(engine).unwrap();
+        assert!(!run.outcome.committed_everywhere(), "{name} deviator");
+        assert!(
+            check_safety(deal.spec(), deal.configs(), &run.outcome).holds(),
+            "{name} deviator safety"
+        );
+    }
+}

@@ -1,88 +1,134 @@
-//! Property-based integration tests: randomly generated well-formed deals,
+//! Property-style integration tests: randomly generated well-formed deals,
 //! random deviation assignments and random network seeds must never violate
 //! safety, weak liveness, or asset conservation.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these tests draw their cases from the workspace's deterministic `StdRng`:
+//! same coverage style (random shapes and behaviours), fully reproducible
+//! failures (the case seed is in every assertion message).
 
-use proptest::prelude::*;
-use xchain_deals::cbc::{run_cbc, CbcOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xchain_deals::cbc::CbcOptions;
 use xchain_deals::party::{Deviation, PartyConfig};
 use xchain_deals::phases::Phase;
 use xchain_deals::properties::{
     check_conservation, check_safety, check_strong_liveness, check_weak_liveness,
 };
-use xchain_deals::setup::world_for_spec;
-use xchain_deals::timelock::{run_timelock, TimelockOptions};
+use xchain_deals::{Deal, Protocol};
 use xchain_harness::workload::{random_well_formed_deal, RandomDealParams};
 use xchain_sim::ids::{DealId, PartyId};
 use xchain_sim::network::NetworkModel;
 
-fn deviation_strategy() -> impl Strategy<Value = Deviation> {
-    prop_oneof![
-        Just(Deviation::None),
-        Just(Deviation::RefuseEscrow),
-        Just(Deviation::SkipTransfers),
-        Just(Deviation::WithholdVote),
-        Just(Deviation::NeverForward),
-        Just(Deviation::VoteAbort),
-        Just(Deviation::RejectValidation),
-        Just(Deviation::CrashAfter(Phase::Escrow)),
-        Just(Deviation::CrashAfter(Phase::Transfer)),
-        Just(Deviation::CrashAfter(Phase::Validation)),
+const CASES: u64 = 24;
+
+fn deviation_pool() -> Vec<Deviation> {
+    vec![
+        Deviation::None,
+        Deviation::RefuseEscrow,
+        Deviation::SkipTransfers,
+        Deviation::WithholdVote,
+        Deviation::NeverForward,
+        Deviation::VoteAbort,
+        Deviation::RejectValidation,
+        Deviation::CrashAfter(Phase::Escrow),
+        Deviation::CrashAfter(Phase::Transfer),
+        Deviation::CrashAfter(Phase::Validation),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+/// One randomly drawn case: a well-formed deal plus deviation assignments.
+struct Case {
+    spec: xchain_deals::spec::DealSpec,
+    configs: Vec<PartyConfig>,
+    seed: u64,
+}
 
-    #[test]
-    fn timelock_safety_holds_for_random_deals_and_deviations(
-        parties in 2u32..6,
-        extra in 0u32..3,
-        seed in 0u64..10_000,
-        deviations in proptest::collection::vec(deviation_strategy(), 0..6),
-    ) {
-        let spec = random_well_formed_deal(
-            DealId(seed),
-            &RandomDealParams { parties, extra_transfers: extra, amount: 60 },
-            seed,
-        );
-        let configs: Vec<PartyConfig> = deviations
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| (*i as u32) < parties)
-            .map(|(i, d)| PartyConfig { id: PartyId(i as u32), deviation: *d })
-            .collect();
-        let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), seed).unwrap();
-        let run = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
-        let report = check_safety(&spec, &configs, &run.outcome);
-        prop_assert!(report.holds(), "violations: {:?}", report.violations);
-        prop_assert!(check_weak_liveness(&spec, &configs, &run.outcome));
-        prop_assert!(check_conservation(&spec, &run.outcome));
+fn draw_case(case: u64, max_parties: u32, with_deviations: bool) -> Case {
+    let mut rng = StdRng::seed_from_u64(0xCA5E ^ case);
+    let parties = rng.gen_range(2..max_parties);
+    let extra = rng.gen_range(0..3u32);
+    let seed = rng.gen_range(0..10_000u64);
+    let spec = random_well_formed_deal(
+        DealId(seed),
+        &RandomDealParams {
+            parties,
+            extra_transfers: extra,
+            amount: 60,
+        },
+        seed,
+    );
+    let pool = deviation_pool();
+    let mut configs = Vec::new();
+    if with_deviations {
+        let n_configs = rng.gen_range(0..6usize);
+        for i in 0..n_configs.min(parties as usize) {
+            let d = pool[rng.gen_range(0..pool.len())];
+            configs.push(PartyConfig {
+                id: PartyId(i as u32),
+                deviation: d,
+            });
+        }
     }
+    Case {
+        spec,
+        configs,
+        seed,
+    }
+}
 
-    #[test]
-    fn cbc_safety_and_atomicity_hold_for_random_deals_and_deviations(
-        parties in 2u32..6,
-        extra in 0u32..3,
-        seed in 0u64..10_000,
-        f in 1usize..4,
-        deviations in proptest::collection::vec(deviation_strategy(), 0..6),
-    ) {
-        let spec = random_well_formed_deal(
-            DealId(seed),
-            &RandomDealParams { parties, extra_transfers: extra, amount: 60 },
-            seed,
+#[test]
+fn timelock_safety_holds_for_random_deals_and_deviations() {
+    for case in 0..CASES {
+        let c = draw_case(case, 6, true);
+        let run = Deal::new(c.spec.clone())
+            .network(NetworkModel::synchronous(100))
+            .parties(&c.configs)
+            .seed(c.seed)
+            .run(Protocol::timelock())
+            .unwrap();
+        let report = check_safety(&c.spec, &c.configs, &run.outcome);
+        assert!(
+            report.holds(),
+            "case {case} (seed {}): violations: {:?}",
+            c.seed,
+            report.violations
         );
-        let configs: Vec<PartyConfig> = deviations
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| (*i as u32) < parties)
-            .map(|(i, d)| PartyConfig { id: PartyId(i as u32), deviation: *d })
-            .collect();
-        let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), seed).unwrap();
-        let run = run_cbc(&mut world, &spec, &configs, &CbcOptions { f, ..CbcOptions::default() }).unwrap();
-        prop_assert!(check_safety(&spec, &configs, &run.outcome).holds());
-        prop_assert!(check_weak_liveness(&spec, &configs, &run.outcome));
-        prop_assert!(check_conservation(&spec, &run.outcome));
+        assert!(
+            check_weak_liveness(&c.spec, &c.configs, &run.outcome),
+            "case {case} (seed {})",
+            c.seed
+        );
+        assert!(
+            check_conservation(&c.spec, &run.outcome),
+            "case {case} (seed {})",
+            c.seed
+        );
+    }
+}
+
+#[test]
+fn cbc_safety_and_atomicity_hold_for_random_deals_and_deviations() {
+    for case in 0..CASES {
+        let c = draw_case(case, 6, true);
+        let mut rng = StdRng::seed_from_u64(0xF ^ case);
+        let f = rng.gen_range(1..4usize);
+        let run = Deal::new(c.spec.clone())
+            .network(NetworkModel::synchronous(100))
+            .parties(&c.configs)
+            .seed(c.seed)
+            .run(Protocol::Cbc(CbcOptions {
+                f,
+                ..CbcOptions::default()
+            }))
+            .unwrap();
+        assert!(
+            check_safety(&c.spec, &c.configs, &run.outcome).holds(),
+            "case {case} (seed {})",
+            c.seed
+        );
+        assert!(check_weak_liveness(&c.spec, &c.configs, &run.outcome));
+        assert!(check_conservation(&c.spec, &run.outcome));
         // CBC atomicity: there is never a mixed outcome where one chain
         // commits and another aborts. (If every party deviates by walking
         // away, the deal may simply remain undecided — nobody is harmed.)
@@ -96,23 +142,32 @@ proptest! {
             .resolutions
             .values()
             .any(|r| *r == xchain_deals::outcome::ChainResolution::Aborted);
-        prop_assert!(!(any_committed && any_aborted));
-    }
-
-    #[test]
-    fn all_compliant_random_deals_always_commit(
-        parties in 2u32..7,
-        extra in 0u32..4,
-        seed in 0u64..10_000,
-    ) {
-        let spec = random_well_formed_deal(
-            DealId(seed),
-            &RandomDealParams { parties, extra_transfers: extra, amount: 80 },
-            seed,
+        assert!(
+            !(any_committed && any_aborted),
+            "case {case} (seed {}): mixed outcome",
+            c.seed
         );
-        let mut world = world_for_spec(&spec, NetworkModel::synchronous(100), seed).unwrap();
-        let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
-        prop_assert!(run.outcome.committed_everywhere());
-        prop_assert!(check_strong_liveness(&spec, &[], &run.outcome));
+    }
+}
+
+#[test]
+fn all_compliant_random_deals_always_commit() {
+    for case in 0..CASES {
+        let c = draw_case(case, 7, false);
+        let run = Deal::new(c.spec.clone())
+            .network(NetworkModel::synchronous(100))
+            .seed(c.seed)
+            .run(Protocol::timelock())
+            .unwrap();
+        assert!(
+            run.outcome.committed_everywhere(),
+            "case {case} (seed {})",
+            c.seed
+        );
+        assert!(
+            check_strong_liveness(&c.spec, &[], &run.outcome),
+            "case {case} (seed {})",
+            c.seed
+        );
     }
 }

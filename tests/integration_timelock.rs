@@ -1,12 +1,13 @@
 //! Integration tests: the timelock commit protocol end-to-end across the
-//! simulator, contracts and deal engine crates.
+//! simulator, contracts and deal engine crates, driven through the unified
+//! `Deal` builder API.
 
 use xchain_deals::builders::{broker_spec, brokered_chain_spec, ring_spec};
 use xchain_deals::party::{Deviation, PartyConfig};
 use xchain_deals::phases::Phase;
 use xchain_deals::properties::{check_safety, check_strong_liveness, check_weak_liveness};
-use xchain_deals::setup::world_for_spec;
-use xchain_deals::timelock::{run_timelock, TimelockOptions};
+use xchain_deals::timelock::TimelockOptions;
+use xchain_deals::{Deal, Protocol};
 use xchain_sim::asset::Asset;
 use xchain_sim::ids::{DealId, Owner, PartyId};
 use xchain_sim::network::NetworkModel;
@@ -20,14 +21,19 @@ fn net() -> NetworkModel {
 
 #[test]
 fn broker_deal_commits_and_routes_assets_correctly() {
-    let spec = broker_spec();
-    let mut world = world_for_spec(&spec, net(), 1).unwrap();
-    let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
+    let deal = Deal::new(broker_spec()).network(net()).seed(1);
+    let run = deal.run(Protocol::timelock()).unwrap();
     assert!(run.outcome.committed_everywhere());
-    assert!(check_strong_liveness(&spec, &[], &run.outcome));
+    assert!(check_strong_liveness(deal.spec(), &[], &run.outcome));
     // Alice nets exactly her 1-coin commission.
-    assert_eq!(world.holdings(Owner::Party(PartyId(0))).balance(&"coin".into()), 1);
-    assert!(world
+    assert_eq!(
+        run.world
+            .holdings(Owner::Party(PartyId(0)))
+            .balance(&"coin".into()),
+        1
+    );
+    assert!(run
+        .world
         .holdings(Owner::Party(PartyId(2)))
         .contains(&Asset::non_fungible("ticket", [1, 2])));
 }
@@ -35,11 +41,15 @@ fn broker_deal_commits_and_routes_assets_correctly() {
 #[test]
 fn rings_of_many_parties_commit() {
     for n in [2u32, 4, 8, 12] {
-        let spec = ring_spec(DealId(n as u64), n);
-        let mut world = world_for_spec(&spec, net(), n as u64).unwrap();
-        let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
+        let deal = Deal::new(ring_spec(DealId(n as u64), n))
+            .network(net())
+            .seed(n as u64);
+        let run = deal.run(Protocol::timelock()).unwrap();
         assert!(run.outcome.committed_everywhere(), "ring n={n}");
-        assert!(check_strong_liveness(&spec, &[], &run.outcome), "ring n={n}");
+        assert!(
+            check_strong_liveness(deal.spec(), &[], &run.outcome),
+            "ring n={n}"
+        );
     }
 }
 
@@ -59,11 +69,22 @@ fn every_single_deviator_scenario_is_safe() {
     for &p in &spec.parties {
         for (i, d) in deviations.iter().enumerate() {
             let configs = vec![PartyConfig::deviating(p, *d)];
-            let mut world = world_for_spec(&spec, net(), 50 + i as u64).unwrap();
-            let run = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
+            let run = Deal::new(spec.clone())
+                .network(net())
+                .parties(&configs)
+                .seed(50 + i as u64)
+                .run(Protocol::timelock())
+                .unwrap();
             let report = check_safety(&spec, &configs, &run.outcome);
-            assert!(report.holds(), "party {p} deviation {d:?}: {:?}", report.violations);
-            assert!(check_weak_liveness(&spec, &configs, &run.outcome), "party {p} deviation {d:?}");
+            assert!(
+                report.holds(),
+                "party {p} deviation {d:?}: {:?}",
+                report.violations
+            );
+            assert!(
+                check_weak_liveness(&spec, &configs, &run.outcome),
+                "party {p} deviation {d:?}"
+            );
         }
     }
 }
@@ -77,8 +98,11 @@ fn never_forward_deviator_harms_only_itself() {
     // deviator can end up worse off.
     let spec = ring_spec(DealId(5), 5);
     let configs = vec![PartyConfig::deviating(PartyId(2), Deviation::NeverForward)];
-    let mut world = world_for_spec(&spec, net(), 3).unwrap();
-    let run = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
+    let deal = Deal::new(spec.clone())
+        .network(net())
+        .parties(&configs)
+        .seed(3);
+    let run = deal.run(Protocol::timelock()).unwrap();
     assert!(run.outcome.fully_resolved());
     let report = check_safety(&spec, &configs, &run.outcome);
     assert!(report.holds(), "{:?}", report.violations);
@@ -86,9 +110,11 @@ fn never_forward_deviator_harms_only_itself() {
 
     // With altruistic broadcast the same deviation cannot even prevent commit,
     // because votes no longer rely on forwarding at all.
-    let opts = TimelockOptions { altruistic_broadcast: true, ..TimelockOptions::default() };
-    let mut world = world_for_spec(&spec, net(), 3).unwrap();
-    let run = run_timelock(&mut world, &spec, &configs, &opts).unwrap();
+    let opts = TimelockOptions {
+        altruistic_broadcast: true,
+        ..TimelockOptions::default()
+    };
+    let run = deal.run(Protocol::Timelock(opts)).unwrap();
     assert!(run.outcome.committed_everywhere());
 }
 
@@ -104,11 +130,20 @@ fn offline_compliant_party_is_protected_by_timeouts() {
             until: xchain_sim::time::Time(1_000_000),
         },
     )];
-    let mut world = world_for_spec(&spec, net(), 4).unwrap();
-    let run = run_timelock(&mut world, &spec, &configs, &TimelockOptions::default()).unwrap();
+    let run = Deal::new(spec.clone())
+        .network(net())
+        .parties(&configs)
+        .seed(4)
+        .run(Protocol::timelock())
+        .unwrap();
     assert!(run.outcome.aborted_everywhere());
     assert!(check_safety(&spec, &configs, &run.outcome).holds());
-    assert_eq!(world.holdings(Owner::Party(PartyId(2))).balance(&"coin".into()), 101);
+    assert_eq!(
+        run.world
+            .holdings(Owner::Party(PartyId(2)))
+            .balance(&"coin".into()),
+        101
+    );
 }
 
 #[test]
@@ -118,12 +153,13 @@ fn commit_gas_grows_quadratically_in_parties_for_fixed_assets() {
     // with n.
     let mut per_asset = Vec::new();
     for n in [4u32, 8] {
-        let spec = brokered_chain_spec(DealId(n as u64), n, 50);
-        let mut world = world_for_spec(&spec, net(), 9).unwrap();
-        let run = run_timelock(&mut world, &spec, &[], &TimelockOptions::default()).unwrap();
+        let deal = Deal::new(brokered_chain_spec(DealId(n as u64), n, 50))
+            .network(net())
+            .seed(9);
+        let run = deal.run(Protocol::timelock()).unwrap();
         assert!(run.outcome.committed_everywhere());
         let sigs = run.outcome.metrics.gas(Phase::Commit).sig_verifications;
-        per_asset.push(sigs as f64 / spec.n_assets() as f64);
+        per_asset.push(sigs as f64 / deal.spec().n_assets() as f64);
     }
     assert!(per_asset[1] > per_asset[0] * 1.5, "{per_asset:?}");
 }
@@ -131,12 +167,27 @@ fn commit_gas_grows_quadratically_in_parties_for_fixed_assets() {
 #[test]
 fn larger_delta_only_changes_timeouts_not_gas() {
     let spec = broker_spec();
-    let small = TimelockOptions { delta: Duration(50), ..TimelockOptions::default() };
-    let large = TimelockOptions { delta: Duration(500), ..TimelockOptions::default() };
-    let mut w1 = world_for_spec(&spec, NetworkModel::synchronous(50), 6).unwrap();
-    let r1 = run_timelock(&mut w1, &spec, &[], &small).unwrap();
-    let mut w2 = world_for_spec(&spec, NetworkModel::synchronous(500), 6).unwrap();
-    let r2 = run_timelock(&mut w2, &spec, &[], &large).unwrap();
+    let small = TimelockOptions {
+        delta: Duration(50),
+        ..TimelockOptions::default()
+    };
+    let large = TimelockOptions {
+        delta: Duration(500),
+        ..TimelockOptions::default()
+    };
+    let r1 = Deal::new(spec.clone())
+        .network(NetworkModel::synchronous(50))
+        .seed(6)
+        .run(Protocol::Timelock(small))
+        .unwrap();
+    let r2 = Deal::new(spec)
+        .network(NetworkModel::synchronous(500))
+        .seed(6)
+        .run(Protocol::Timelock(large))
+        .unwrap();
     assert!(r1.outcome.committed_everywhere() && r2.outcome.committed_everywhere());
-    assert_eq!(r1.outcome.metrics.total_gas(), r2.outcome.metrics.total_gas());
+    assert_eq!(
+        r1.outcome.metrics.total_gas(),
+        r2.outcome.metrics.total_gas()
+    );
 }

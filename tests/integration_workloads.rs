@@ -3,7 +3,7 @@
 
 use xchain_harness::experiments::{
     crossover_experiment, fig3_escrow_costs, fig4_gas, fig7_delays, liveness_experiment,
-    swap_baseline_experiment,
+    protocol_matrix_experiment, swap_baseline_experiment,
 };
 
 #[test]
@@ -13,8 +13,14 @@ fn fig4_commit_costs_scale_as_the_paper_says() {
     let tl: Vec<_> = rows.iter().filter(|r| r.protocol == "timelock").collect();
     let cbc: Vec<_> = rows.iter().filter(|r| r.protocol == "CBC").collect();
     // Timelock: per-asset signature verifications grow with n (towards n^2).
-    let tl_per_asset: Vec<f64> = tl.iter().map(|r| r.commit_sigs as f64 / r.m as f64).collect();
-    assert!(tl_per_asset.windows(2).all(|w| w[1] > w[0]), "{tl_per_asset:?}");
+    let tl_per_asset: Vec<f64> = tl
+        .iter()
+        .map(|r| r.commit_sigs as f64 / r.m as f64)
+        .collect();
+    assert!(
+        tl_per_asset.windows(2).all(|w| w[1] > w[0]),
+        "{tl_per_asset:?}"
+    );
     // CBC: exactly m(2f+1) signature verifications regardless of n.
     for r in &cbc {
         assert_eq!(r.commit_sigs, (r.m * (2 * r.f + 1)) as u64);
@@ -31,12 +37,24 @@ fn fig4_commit_costs_scale_as_the_paper_says() {
 fn fig7_delays_match_the_paper_shape() {
     let (rows, _) = fig7_delays(&[3, 7]);
     // Sequential transfers cost more than concurrent ones.
-    let seq = rows.iter().find(|r| r.n == 7 && r.scenario.contains("timelock / sequential")).unwrap();
-    let conc = rows.iter().find(|r| r.n == 7 && r.scenario.contains("timelock / concurrent")).unwrap();
+    let seq = rows
+        .iter()
+        .find(|r| r.n == 7 && r.scenario.contains("timelock / sequential"))
+        .unwrap();
+    let conc = rows
+        .iter()
+        .find(|r| r.n == 7 && r.scenario.contains("timelock / concurrent"))
+        .unwrap();
     assert!(seq.transfer > conc.transfer);
     // Forwarded timelock commit grows with n; CBC commit stays O(1).
-    let tl3 = rows.iter().find(|r| r.n == 3 && r.scenario.contains("forwarded")).unwrap();
-    let tl7 = rows.iter().find(|r| r.n == 7 && r.scenario.contains("forwarded")).unwrap();
+    let tl3 = rows
+        .iter()
+        .find(|r| r.n == 3 && r.scenario.contains("forwarded"))
+        .unwrap();
+    let tl7 = rows
+        .iter()
+        .find(|r| r.n == 7 && r.scenario.contains("forwarded"))
+        .unwrap();
     assert!(tl7.commit > tl3.commit);
     for r in rows.iter().filter(|r| r.scenario.starts_with("CBC")) {
         assert!(r.commit <= 3.0 + 1e-9, "{r:?}");
@@ -79,11 +97,37 @@ fn liveness_table_reports_all_commits() {
 fn swap_baseline_tables_are_consistent() {
     let tables = swap_baseline_experiment();
     assert_eq!(tables.len(), 2);
-    // The deal mechanism costs at least as much gas as the plain HTLC swap: it
-    // buys generality (brokering, auctions) that the swap cannot express.
-    let swap_gas: u64 = tables[1].rows[0][3].parse().unwrap();
-    let deal_gas: u64 = tables[1].rows[1][3].parse().unwrap();
-    assert!(deal_gas >= swap_gas);
+    // The same two-party deal ran under all three engines.
+    assert_eq!(tables[1].rows.len(), 3);
+    // The commit protocols cost at least as much gas as the plain HTLC swap:
+    // they buy generality (brokering, auctions) that the swap cannot express.
+    let gas_of = |label: &str| -> u64 {
+        tables[1]
+            .rows
+            .iter()
+            .find(|r| r[0] == label)
+            .unwrap_or_else(|| panic!("no row for {label}"))[3]
+            .parse()
+            .unwrap()
+    };
+    let swap_gas = gas_of("HTLC swap");
+    assert!(gas_of("timelock") >= swap_gas);
+    assert!(gas_of("CBC") >= swap_gas);
+}
+
+#[test]
+fn protocol_matrix_is_safe_in_every_cell() {
+    let (rows, table) = protocol_matrix_experiment();
+    assert!(!table.render().is_empty());
+    // Three engines on the two-party deal, two on the broker deal, over two
+    // network models each.
+    assert_eq!(rows.len(), 10);
+    for (deal, engine, network, committed, safe) in &rows {
+        assert!(safe, "{deal}/{engine}/{network}");
+        if network == "synchronous" {
+            assert!(committed, "{deal}/{engine} under synchrony");
+        }
+    }
 }
 
 #[test]

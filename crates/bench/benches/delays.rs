@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo bench -p xchain-bench --bench delays`
 
-use xchain_bench::bench;
+use xchain_bench::Suite;
 use xchain_deals::builders::ring_spec;
 use xchain_deals::timelock::TimelockOptions;
 use xchain_deals::{Deal, Protocol};
@@ -13,14 +13,15 @@ use xchain_sim::time::Duration;
 
 fn main() {
     println!("fig7_delays");
+    let mut suite = Suite::from_args("delays");
     for n in [3u32, 6, 9] {
         let deal = Deal::new(ring_spec(DealId(n as u64), n))
             .network(NetworkModel::synchronous(100))
             .seed(2);
-        bench(&format!("fig7_delays/timelock_forwarded/{n}"), 30, || {
+        suite.bench(&format!("fig7_delays/timelock_forwarded/{n}"), 30, || {
             deal.run(Protocol::timelock()).unwrap()
         });
-        bench(&format!("fig7_delays/timelock_broadcast/{n}"), 30, || {
+        suite.bench(&format!("fig7_delays/timelock_broadcast/{n}"), 30, || {
             deal.run(Protocol::Timelock(TimelockOptions {
                 altruistic_broadcast: true,
                 concurrent_transfers: true,
@@ -28,8 +29,9 @@ fn main() {
             }))
             .unwrap()
         });
-        bench(&format!("fig7_delays/cbc/{n}"), 30, || {
+        suite.bench(&format!("fig7_delays/cbc/{n}"), 30, || {
             deal.run(Protocol::cbc()).unwrap()
         });
     }
+    suite.finish();
 }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo bench -p xchain-bench --bench gas_costs`
 
-use xchain_bench::bench;
+use xchain_bench::Suite;
 use xchain_deals::builders::brokered_chain_spec;
 use xchain_deals::cbc::CbcOptions;
 use xchain_deals::{Deal, Protocol};
@@ -12,14 +12,15 @@ use xchain_sim::network::NetworkModel;
 
 fn main() {
     println!("fig4_gas");
+    let mut suite = Suite::from_args("gas_costs");
     for n in [3u32, 6, 9] {
         let deal = Deal::new(brokered_chain_spec(DealId(n as u64), n, 100))
             .network(NetworkModel::synchronous(100))
             .seed(1);
-        bench(&format!("fig4_gas/timelock/{n}"), 50, || {
+        suite.bench(&format!("fig4_gas/timelock/{n}"), 50, || {
             deal.run(Protocol::timelock()).unwrap()
         });
-        bench(&format!("fig4_gas/cbc_f2/{n}"), 50, || {
+        suite.bench(&format!("fig4_gas/cbc_f2/{n}"), 50, || {
             deal.run(Protocol::Cbc(CbcOptions {
                 f: 2,
                 ..CbcOptions::default()
@@ -27,4 +28,5 @@ fn main() {
             .unwrap()
         });
     }
+    suite.finish();
 }

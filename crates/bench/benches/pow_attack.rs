@@ -5,13 +5,14 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xchain_bench::bench;
+use xchain_bench::Suite;
 use xchain_bft::pow::{attack_success_rate, PowAttackParams};
 
 fn main() {
     println!("pow_attack");
+    let mut suite = Suite::from_args("pow_attack");
     for (alpha, k) in [(0.25f64, 3u64), (0.25, 6), (0.45, 6)] {
-        bench(&format!("pow_attack/alpha{alpha:.2}_k{k}"), 10, || {
+        suite.bench(&format!("pow_attack/alpha{alpha:.2}_k{k}"), 10, || {
             let mut rng = StdRng::seed_from_u64(1);
             attack_success_rate(
                 &PowAttackParams {
@@ -24,4 +25,5 @@ fn main() {
             )
         });
     }
+    suite.finish();
 }

@@ -1,0 +1,56 @@
+//! Benchmark of the parallel sweep executor: the same adversarial experiment
+//! matrix (specs × engines × networks × deviator scenarios) executed serially
+//! (`threads(1)`) and on every available core. The two produce identical
+//! `SweepOutcome`s — this bench measures the wall-clock ratio.
+//!
+//! Run with: `cargo bench -p xchain-bench --bench sweep` (add `--json` for
+//! `BENCH_sweep.json`).
+
+use xchain_bench::Suite;
+use xchain_deals::builders::{broker_spec, ring_spec};
+use xchain_harness::adversary::single_deviator_configs;
+use xchain_harness::executor::available_threads;
+use xchain_harness::sweep::{standard_engines, Sweep};
+use xchain_sim::ids::DealId;
+use xchain_sim::network::NetworkModel;
+
+fn matrix(threads: usize) -> Sweep {
+    Sweep::new()
+        .spec("broker", broker_spec())
+        .spec("ring n=4", ring_spec(DealId(4), 4))
+        .over_protocols(standard_engines(100))
+        .over_networks(vec![
+            ("sync".into(), NetworkModel::synchronous(100)),
+            (
+                "eventually sync".into(),
+                NetworkModel::eventually_synchronous(500, 100, 1_000),
+            ),
+        ])
+        .over_adversaries(|spec| {
+            let mut scenarios = vec![("all compliant".to_string(), Vec::new())];
+            scenarios.extend(
+                single_deviator_configs(spec, 100)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| (format!("deviator #{i}"), c)),
+            );
+            scenarios
+        })
+        .seed(42)
+        .threads(threads)
+}
+
+fn main() {
+    println!("sweep");
+    let mut suite = Suite::from_args("sweep");
+    let serial = matrix(1);
+    suite.bench("sweep/matrix/serial", 3, || {
+        serial.run().unwrap().points.len()
+    });
+    let n = available_threads();
+    let parallel = matrix(n);
+    suite.bench(&format!("sweep/matrix/threads{n}"), 3, || {
+        parallel.run().unwrap().points.len()
+    });
+    suite.finish();
+}

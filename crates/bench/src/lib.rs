@@ -2,33 +2,140 @@
 //! harness used by the `benches/` binaries (the build environment has no
 //! crates.io access, so criterion is unavailable; the benches are plain
 //! `harness = false` executables instead).
+//!
+//! Each bench binary builds a [`Suite`], runs its measurements through
+//! [`Suite::bench`], and calls [`Suite::finish`]. Besides the criterion-style
+//! stdout lines (now reporting both the best and the **median** repetition),
+//! passing `--json` to the binary writes the results as
+//! `BENCH_<suite>.json` at the repository root — an array of
+//! `{"name", "ns_per_iter", "median_ns", "iters"}` records — so the perf
+//! trajectory can be tracked across PRs (see `BENCH_baseline.json`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::Instant;
 
-/// Times `f` and prints a criterion-style `name ... ns/iter` line.
-///
-/// Runs a few warmup iterations, then measures `iters` iterations in one
-/// block and reports the best of three repetitions to damp scheduler noise.
-pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+/// How many timed repetitions each measurement runs (the best and the median
+/// of these are reported).
+const REPS: usize = 3;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name, e.g. `"fig4_gas/timelock/3"`.
+    pub name: String,
+    /// Best-of-reps nanoseconds per iteration (damps scheduler noise).
+    pub ns_per_iter: f64,
+    /// Median-of-reps nanoseconds per iteration (robust central tendency).
+    pub median_ns: f64,
+    /// Iterations per repetition.
+    pub iters: u32,
+}
+
+/// Times `f` over `iters` iterations × [`REPS`] repetitions (after warmup)
+/// and returns the per-iteration statistics, printing a criterion-style line.
+pub fn measure<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> BenchResult {
     for _ in 0..iters.div_ceil(10).max(1) {
         black_box(f());
     }
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
+    let mut reps = [0f64; REPS];
+    for rep in reps.iter_mut() {
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
         }
-        let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
-        if per_iter < best {
-            best = per_iter;
+        *rep = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    reps.sort_by(|a, b| a.total_cmp(b));
+    let best = reps[0];
+    let median = reps[REPS / 2];
+    println!("{name:<55} {best:>14.0} ns/iter (median {median:>10.0}) ({iters} iters)");
+    BenchResult {
+        name: name.to_string(),
+        ns_per_iter: best,
+        median_ns: median,
+        iters,
+    }
+}
+
+/// Times `f` and prints a criterion-style `name ... ns/iter` line.
+/// Standalone convenience wrapper around [`measure`] for callers that do not
+/// need a [`Suite`].
+pub fn bench<T>(name: &str, iters: u32, f: impl FnMut() -> T) {
+    measure(name, iters, f);
+}
+
+/// A named collection of benchmark results with optional JSON output.
+#[derive(Debug)]
+pub struct Suite {
+    name: String,
+    json: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Suite {
+    /// Creates the suite for one bench binary, reading the process arguments:
+    /// `--json` enables writing `BENCH_<name>.json` on [`Suite::finish`].
+    pub fn from_args(name: &str) -> Self {
+        let json = std::env::args().any(|a| a == "--json");
+        Suite {
+            name: name.to_string(),
+            json,
+            results: Vec::new(),
         }
     }
-    println!("{name:<55} {best:>14.0} ns/iter ({iters} iters)");
+
+    /// Runs and records one measurement (see [`measure`]).
+    pub fn bench<T>(&mut self, name: &str, iters: u32, f: impl FnMut() -> T) -> &BenchResult {
+        let r = measure(name, iters, f);
+        self.results.push(r);
+        self.results.last().expect("just pushed")
+    }
+
+    /// The results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes `BENCH_<suite>.json` at the repository root when the binary was
+    /// invoked with `--json`; otherwise does nothing.
+    pub fn finish(&self) {
+        if !self.json {
+            return;
+        }
+        let path = json_path(&self.name);
+        std::fs::write(&path, render_json(&self.results))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+}
+
+/// The repo-root path of a suite's JSON report.
+fn json_path(suite: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(format!("BENCH_{suite}.json"))
+}
+
+/// Renders results as a JSON array (hand-rolled: no serde in this sandbox).
+/// Bench names are plain ASCII identifiers/paths, so escaping quotes and
+/// backslashes suffices.
+pub fn render_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"median_ns\": {:.1}, \"iters\": {}}}{}\n",
+            name,
+            r.ns_per_iter,
+            r.median_ns,
+            r.iters,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
 }
 
 #[cfg(test)]
@@ -44,5 +151,53 @@ mod tests {
         });
         // 1 warmup + 3 × 10 measured iterations.
         assert_eq!(count, 31);
+    }
+
+    #[test]
+    fn measure_yields_ordered_statistics() {
+        let r = measure("stats", 5, || std::hint::black_box(40 + 2));
+        assert_eq!(r.iters, 5);
+        assert!(r.ns_per_iter >= 0.0);
+        assert!(r.median_ns >= r.ns_per_iter, "median is at least the best");
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed() {
+        let results = vec![
+            BenchResult {
+                name: "a/b\"c".into(),
+                ns_per_iter: 1.25,
+                median_ns: 2.0,
+                iters: 7,
+            },
+            BenchResult {
+                name: "d".into(),
+                ns_per_iter: 3.0,
+                median_ns: 3.0,
+                iters: 9,
+            },
+        ];
+        let json = render_json(&results);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"name\": \"a/b\\\"c\""));
+        assert!(json.contains("\"ns_per_iter\": 1.2"));
+        assert!(json.contains("\"iters\": 9"));
+        // exactly one separator comma between the two records
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn suite_collects_results() {
+        let mut suite = Suite {
+            name: "test".into(),
+            json: false,
+            results: Vec::new(),
+        };
+        suite.bench("one", 3, || 1);
+        suite.bench("two", 3, || 2);
+        assert_eq!(suite.results().len(), 2);
+        assert_eq!(suite.results()[0].name, "one");
+        suite.finish(); // json disabled: writes nothing, must not panic
     }
 }

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeSet;
 
-use xchain_sim::crypto::{hash_words, Hash};
+use xchain_sim::crypto::{FnvHasher, Hash};
 use xchain_sim::ids::{DealId, PartyId};
 use xchain_sim::time::Time;
 
@@ -81,9 +81,50 @@ impl CbcRecord {
         }
     }
 
-    /// Hash of the record (used as `h`, the startDeal hash).
+    /// Streams the canonical word encoding into a hasher without
+    /// materializing it (block hashing runs once per appended record).
+    pub fn write_into(&self, h: &mut FnvHasher) {
+        match self {
+            CbcRecord::StartDeal { deal, plist } => {
+                h.write_u64(1);
+                h.write_u64(deal.0);
+                for p in plist {
+                    h.write_u64(p.0 as u64);
+                }
+            }
+            CbcRecord::CommitVote {
+                deal,
+                start_hash,
+                voter,
+            } => {
+                h.write_u64(2);
+                h.write_u64(deal.0);
+                h.write_u64(start_hash.0);
+                h.write_u64(voter.0 as u64);
+            }
+            CbcRecord::AbortVote {
+                deal,
+                start_hash,
+                voter,
+            } => {
+                h.write_u64(3);
+                h.write_u64(deal.0);
+                h.write_u64(start_hash.0);
+                h.write_u64(voter.0 as u64);
+            }
+            CbcRecord::Reconfigure { new_epoch } => {
+                h.write_u64(4);
+                h.write_u64(*new_epoch);
+            }
+        }
+    }
+
+    /// Hash of the record (used as `h`, the startDeal hash). Streamed —
+    /// equal to hashing [`CbcRecord::to_words`] but allocation-free.
     pub fn hash(&self) -> Hash {
-        hash_words(&self.to_words())
+        let mut h = FnvHasher::new();
+        self.write_into(&mut h);
+        h.finish()
     }
 }
 

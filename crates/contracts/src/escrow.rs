@@ -20,6 +20,7 @@ use xchain_sim::asset::{Asset, AssetBag};
 use xchain_sim::contract::{CallCtx, Contract};
 use xchain_sim::error::ChainResult;
 use xchain_sim::ids::{DealId, PartyId};
+use xchain_sim::intern::{InternedAsset, InternedBag, KindTable};
 
 /// How an escrow ultimately resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,14 +41,24 @@ pub struct EscrowDeposit {
 }
 
 /// The escrow state shared by both commit protocols.
+///
+/// Internally, both the A map (deposits) and the C map (tentative commit
+/// ownership) are kept in interned form ([`InternedAsset`] / [`InternedBag`]):
+/// kind names are resolved to `Copy` [`xchain_sim::intern::KindId`]s once at
+/// deposit time, so the per-call escrow/transfer/release paths never clone a
+/// `String`. The name-keyed views ([`EscrowCore::deposits`],
+/// [`EscrowCore::on_commit_of`], …) resolve ids back through the chain's
+/// [`KindTable`], which the contract receives at install time.
 #[derive(Debug, Clone)]
 pub struct EscrowCore {
     deal: DealId,
     plist: Vec<PartyId>,
+    /// The hosting chain's kind table (set on install; empty until then).
+    kinds: KindTable,
     /// A map: deposits, refunded to their original owners on abort.
-    deposits: Vec<EscrowDeposit>,
+    deposits: Vec<(PartyId, InternedAsset)>,
     /// C map: what each party receives if the deal commits at this chain.
-    on_commit: BTreeMap<PartyId, AssetBag>,
+    on_commit: BTreeMap<PartyId, InternedBag>,
     resolution: Option<EscrowResolution>,
 }
 
@@ -57,10 +68,17 @@ impl EscrowCore {
         EscrowCore {
             deal,
             plist,
+            kinds: KindTable::new(),
             deposits: Vec::new(),
             on_commit: BTreeMap::new(),
             resolution: None,
         }
+    }
+
+    /// Adopts the hosting chain's kind table. The escrow managers forward
+    /// [`Contract::on_install`] here.
+    pub fn install(&mut self, kinds: &KindTable) {
+        self.kinds = kinds.clone();
     }
 
     /// The deal this escrow belongs to.
@@ -88,21 +106,31 @@ impl EscrowCore {
         self.resolution.is_none()
     }
 
-    /// All deposits made so far (the A map).
-    pub fn deposits(&self) -> &[EscrowDeposit] {
-        &self.deposits
+    /// All deposits made so far (the A map), resolved to named assets.
+    pub fn deposits(&self) -> Vec<EscrowDeposit> {
+        self.deposits
+            .iter()
+            .map(|(owner, asset)| EscrowDeposit {
+                original_owner: *owner,
+                asset: asset.resolve(&self.kinds),
+            })
+            .collect()
     }
 
-    /// What `party` would receive if the deal committed now (the C map).
+    /// What `party` would receive if the deal committed now (the C map),
+    /// resolved to named assets.
     pub fn on_commit_of(&self, party: PartyId) -> AssetBag {
-        self.on_commit.get(&party).cloned().unwrap_or_default()
+        self.on_commit
+            .get(&party)
+            .map(|b| b.resolve(&self.kinds))
+            .unwrap_or_default()
     }
 
     /// Everything currently held in escrow, summed across deposits.
     pub fn total_escrowed(&self) -> AssetBag {
         let mut bag = AssetBag::new();
-        for d in &self.deposits {
-            bag.add(&d.asset);
+        for (_, asset) in &self.deposits {
+            bag.add(&asset.resolve(&self.kinds));
         }
         bag
     }
@@ -118,14 +146,13 @@ impl EscrowCore {
         ctx.require(self.is_active(), "deal already resolved")?;
         ctx.require(self.is_participant(caller), "caller not in plist")?;
         ctx.require(!asset.is_empty(), "cannot escrow an empty asset")?;
+        // Resolve the kind to a Copy id once; everything after is id-keyed.
+        let asset = ctx.intern_asset(&asset);
         // Pre: Owns(P, a): the deposit fails if the caller does not own it.
-        ctx.deposit_from_caller(&asset)?;
+        ctx.deposit_interned_from_caller(&asset)?;
         // A map entry (1 write)
         ctx.charge_storage_write()?;
-        self.deposits.push(EscrowDeposit {
-            original_owner: caller,
-            asset: asset.clone(),
-        });
+        self.deposits.push((caller, asset.clone()));
         // C map entry (1 write)
         ctx.charge_storage_write()?;
         self.on_commit.entry(caller).or_default().add(&asset);
@@ -151,6 +178,7 @@ impl EscrowCore {
         ctx.require(self.is_active(), "deal already resolved")?;
         ctx.require(self.is_participant(caller), "caller not in plist")?;
         ctx.require(self.is_participant(to), "recipient not in plist")?;
+        let asset = ctx.intern_asset(&asset);
         let sender_bag = self.on_commit.entry(caller).or_default();
         ctx.require(
             sender_bag.contains(&asset),
@@ -175,35 +203,24 @@ impl EscrowCore {
     /// Pays the C map out to its owners and marks the escrow committed.
     /// Called by the protocol-specific managers once their commit condition
     /// holds. One storage write records the outcome, plus the payout writes.
+    /// The whole release path works on interned kinds — no `String` is
+    /// cloned, looked up, or constructed here.
     pub fn distribute_commit(&mut self, ctx: &mut CallCtx<'_>) -> ChainResult<()> {
         ctx.require(self.is_active(), "deal already resolved")?;
         ctx.charge_storage_write()?;
         self.resolution = Some(EscrowResolution::Committed);
-        let recipients: Vec<(PartyId, AssetBag)> = self
-            .on_commit
-            .iter()
-            .map(|(p, b)| (*p, b.clone()))
-            .collect();
-        for (party, bag) in recipients {
+        for (party, bag) in &self.on_commit {
             for (kind, amount) in bag.fungible_holdings() {
                 if amount == 0 {
                     continue;
                 }
-                let asset = Asset::Fungible {
-                    kind: kind.clone(),
-                    amount,
-                };
-                ctx.pay_out(party.into(), &asset)?;
+                ctx.pay_out_fungible((*party).into(), kind, amount)?;
             }
             for (kind, tokens) in bag.non_fungible_holdings() {
                 if tokens.is_empty() {
                     continue;
                 }
-                let asset = Asset::NonFungible {
-                    kind: kind.clone(),
-                    tokens: tokens.clone(),
-                };
-                ctx.pay_out(party.into(), &asset)?;
+                ctx.pay_out_tokens((*party).into(), kind, tokens)?;
             }
         }
         ctx.emit("escrow-committed", vec![self.deal.0])?;
@@ -211,14 +228,14 @@ impl EscrowCore {
     }
 
     /// Refunds every deposit to its original owner and marks the escrow
-    /// aborted.
+    /// aborted. Like the commit path, refunds are paid out of the interned A
+    /// map without touching kind names.
     pub fn distribute_abort(&mut self, ctx: &mut CallCtx<'_>) -> ChainResult<()> {
         ctx.require(self.is_active(), "deal already resolved")?;
         ctx.charge_storage_write()?;
         self.resolution = Some(EscrowResolution::Aborted);
-        let deposits = self.deposits.clone();
-        for d in deposits {
-            ctx.pay_out(d.original_owner.into(), &d.asset)?;
+        for (owner, asset) in &self.deposits {
+            ctx.pay_out_interned((*owner).into(), asset)?;
         }
         ctx.emit("escrow-aborted", vec![self.deal.0])?;
         Ok(())
@@ -277,6 +294,9 @@ impl EscrowManager {
 impl Contract for EscrowManager {
     fn type_name(&self) -> &'static str {
         "escrow-manager"
+    }
+    fn on_install(&mut self, kinds: &KindTable) {
+        self.core.install(kinds);
     }
     fn as_any(&self) -> &dyn Any {
         self

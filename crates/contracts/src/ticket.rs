@@ -8,10 +8,11 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
-use xchain_sim::asset::{Asset, AssetKind};
+use xchain_sim::asset::AssetKind;
 use xchain_sim::contract::{CallCtx, Contract};
 use xchain_sim::error::ChainResult;
 use xchain_sim::ids::{PartyId, TokenId};
+use xchain_sim::intern::{InternedAsset, KindId, KindTable};
 
 /// Seat metadata attached to one ticket.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +30,8 @@ pub struct Seat {
 #[derive(Debug, Clone)]
 pub struct TicketRegistry {
     kind: AssetKind,
+    /// Interned id of `kind` on the hosting chain (set on install).
+    kind_id: Option<KindId>,
     event_name: String,
     issuer: PartyId,
     next_token: u64,
@@ -41,6 +44,7 @@ impl TicketRegistry {
     pub fn new(kind: impl Into<AssetKind>, event_name: impl Into<String>, issuer: PartyId) -> Self {
         TicketRegistry {
             kind: kind.into(),
+            kind_id: None,
             event_name: event_name.into(),
             issuer,
             next_token: 1,
@@ -84,12 +88,15 @@ impl TicketRegistry {
         self.next_token += 1;
         ctx.charge_storage_write()?; // seat metadata
         self.seats.insert(token, seat);
-        let asset = Asset::NonFungible {
-            kind: self.kind.clone(),
+        let kind = self
+            .kind_id
+            .unwrap_or_else(|| ctx.kinds().intern(self.kind.name()));
+        let asset = InternedAsset::NonFungible {
+            kind,
             tokens: [token].into_iter().collect(),
         };
-        ctx.mint_to_self(&asset)?;
-        ctx.pay_out(to.into(), &asset)?;
+        ctx.mint_interned_to_self(&asset)?;
+        ctx.pay_out_interned(to.into(), &asset)?;
         ctx.emit("issue-ticket", vec![to.0 as u64, token.0])?;
         Ok(token)
     }
@@ -110,6 +117,9 @@ impl Contract for TicketRegistry {
     fn type_name(&self) -> &'static str {
         "ticket-registry"
     }
+    fn on_install(&mut self, kinds: &KindTable) {
+        self.kind_id = Some(kinds.intern(self.kind.name()));
+    }
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -121,6 +131,7 @@ impl Contract for TicketRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xchain_sim::asset::Asset;
     use xchain_sim::error::ChainError;
     use xchain_sim::ids::{ChainId, Owner};
     use xchain_sim::ledger::Blockchain;

@@ -75,20 +75,6 @@ pub struct CbcRun {
     pub status: DealStatus,
 }
 
-/// Runs one deal under the CBC commit protocol.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Deal::new(spec).run(Protocol::Cbc(opts)) from the unified DealEngine API"
-)]
-pub fn run_cbc(
-    world: &mut World,
-    spec: &DealSpec,
-    configs: &[PartyConfig],
-    opts: &CbcOptions,
-) -> Result<CbcRun, DealError> {
-    drive(world, spec, configs, opts)
-}
-
 /// The CBC protocol driver behind [`crate::Protocol::Cbc`].
 pub(crate) fn drive(
     world: &mut World,

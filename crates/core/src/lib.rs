@@ -51,8 +51,9 @@
 //!
 //! Party behaviour — compliant or deviating in a dozen ways — is configured
 //! with [`party::PartyConfig`], and the paper's Properties 1–3 are executable
-//! checks in [`properties`]. The legacy free functions
-//! `timelock::run_timelock` and `cbc::run_cbc` remain as deprecated shims.
+//! checks in [`properties`]. The pre-0.2 free functions (`run_timelock`,
+//! `run_cbc`) have been removed; the [`deal::Deal`] builder is the only entry
+//! point (see the migration table in CHANGES.md).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

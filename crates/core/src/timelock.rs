@@ -72,23 +72,6 @@ pub struct TimelockRun {
     pub validated: BTreeMap<PartyId, bool>,
 }
 
-/// Runs one deal under the timelock commit protocol.
-///
-/// The world must already contain the chains and parties the specification
-/// references (see [`crate::setup::world_for_spec`]).
-#[deprecated(
-    since = "0.2.0",
-    note = "use Deal::new(spec).run(Protocol::Timelock(opts)) from the unified DealEngine API"
-)]
-pub fn run_timelock(
-    world: &mut World,
-    spec: &DealSpec,
-    configs: &[PartyConfig],
-    opts: &TimelockOptions,
-) -> Result<TimelockRun, DealError> {
-    drive(world, spec, configs, opts)
-}
-
 /// The timelock protocol driver behind [`crate::Protocol::Timelock`]: installs
 /// the escrow contracts, schedules every party action according to its
 /// [`PartyConfig`], and returns the measured [`DealOutcome`] plus the

@@ -577,8 +577,8 @@ pub fn swap_baseline_experiment() -> Vec<Table> {
             "duration/∆",
         ],
     );
-    for (label, engine) in standard_engines(DELTA) {
-        let run = deal.run(&engine).unwrap();
+    for (label, make_engine) in standard_engines(DELTA) {
+        let run = deal.run(make_engine()).unwrap();
         assert!(run.outcome.committed_everywhere());
         let gas = run.outcome.metrics.total_gas();
         t2.push_row(vec![

@@ -10,6 +10,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adversary;
+pub mod executor;
 pub mod experiments;
 pub mod report;
 pub mod sweep;

@@ -2,6 +2,12 @@
 //! specifications × protocols × networks × adversary configurations,
 //! replacing the copy-pasted per-protocol experiment loops.
 //!
+//! Cells are independent (each builds its own world), so the sweep executes
+//! them on the work-queue pool in [`crate::executor`]; `threads(1)` forces the
+//! classic serial loop. Cell seeds and output order are derived from the
+//! declaration order alone, so a sweep's [`SweepOutcome`] is identical for
+//! every thread count.
+//!
 //! ```
 //! use xchain_harness::sweep::{standard_engines, Sweep};
 //! use xchain_deals::builders::{broker_spec, ring_spec};
@@ -17,12 +23,15 @@
 //!         ("eventually synchronous".into(), NetworkModel::eventually_synchronous(500, 100, 1_000)),
 //!     ])
 //!     .seed(42)
+//!     .threads(4)
 //!     .run()
 //!     .unwrap();
 //! // Engines skip specifications they cannot express (the swap engine only
 //! // handles two-party exchanges), so every produced point actually ran.
 //! assert!(outcome.points.iter().all(|p| p.run.outcome.fully_resolved()));
 //! ```
+
+use std::sync::{Arc, Mutex};
 
 use xchain_deals::engine::{DealEngine, Protocol};
 use xchain_deals::error::DealError;
@@ -33,41 +42,54 @@ use xchain_sim::network::NetworkModel;
 use xchain_sim::time::Duration;
 use xchain_swap::SwapEngine;
 
+use crate::executor;
+
 /// A labelled set of party behaviour configurations for one sweep cell.
 pub type AdversaryScenario = (String, Vec<PartyConfig>);
 
 /// Generates the adversary scenarios to run against one specification.
-pub type AdversaryGen = Box<dyn Fn(&DealSpec) -> Vec<AdversaryScenario>>;
+/// (`Send + Sync` so a configured sweep can be shared with worker threads;
+/// generation itself always happens serially before execution starts.)
+pub type AdversaryGen = Box<dyn Fn(&DealSpec) -> Vec<AdversaryScenario> + Send + Sync>;
+
+/// A thread-shareable per-cell engine factory: every worker thread builds its
+/// own engine instance for every cell it executes, so engines need not be
+/// `Sync` themselves.
+pub type EngineFactory = Arc<dyn Fn() -> Box<dyn DealEngine> + Send + Sync>;
+
+/// Wraps a cloneable engine value into an [`EngineFactory`] that hands each
+/// cell its own clone.
+pub fn engine_factory<E>(engine: E) -> EngineFactory
+where
+    E: DealEngine + Clone + Send + Sync + 'static,
+{
+    Arc::new(move || Box::new(engine.clone()))
+}
 
 /// The three standard engines — timelock, CBC, and the HTLC swap — with
 /// default options and the given synchrony bound ∆ (in ticks) for the swap's
 /// HTLC timeouts.
-pub fn standard_engines(delta: u64) -> Vec<(String, Box<dyn DealEngine>)> {
+pub fn standard_engines(delta: u64) -> Vec<(String, EngineFactory)> {
     vec![
-        (
-            "timelock".into(),
-            Box::new(Protocol::timelock()) as Box<dyn DealEngine>,
-        ),
-        ("CBC".into(), Box::new(Protocol::cbc())),
+        ("timelock".into(), engine_factory(Protocol::timelock())),
+        ("CBC".into(), engine_factory(Protocol::cbc())),
         (
             "HTLC swap".into(),
-            Box::new(SwapEngine::new(Duration(delta))),
+            engine_factory(SwapEngine::new(Duration(delta))),
         ),
     ]
 }
 
 /// The two commit-protocol engines (timelock and CBC) with default options.
-pub fn protocol_engines() -> Vec<(String, Box<dyn DealEngine>)> {
+pub fn protocol_engines() -> Vec<(String, EngineFactory)> {
     vec![
-        (
-            "timelock".into(),
-            Box::new(Protocol::timelock()) as Box<dyn DealEngine>,
-        ),
-        ("CBC".into(), Box::new(Protocol::cbc())),
+        ("timelock".into(), engine_factory(Protocol::timelock())),
+        ("CBC".into(), engine_factory(Protocol::cbc())),
     ]
 }
 
 /// One executed cell of a sweep.
+#[derive(Debug)]
 pub struct SweepPoint {
     /// Label of the deal specification.
     pub spec: String,
@@ -89,8 +111,10 @@ pub struct SweepPoint {
 
 /// The result of a sweep: every executed point, plus how many cells were
 /// skipped because an engine could not express a specification.
+#[derive(Debug)]
 pub struct SweepOutcome {
-    /// The executed cells, in deterministic iteration order.
+    /// The executed cells, in deterministic iteration order (independent of
+    /// the thread count the sweep ran with).
     pub points: Vec<SweepPoint>,
     /// Cells skipped via [`DealEngine::supports`].
     pub skipped: usize,
@@ -105,13 +129,16 @@ impl SweepOutcome {
 
 /// A declarative sweep over specifications × engines × networks × adversary
 /// scenarios. Every cell is executed through the [`Deal`] builder with a
-/// deterministic per-cell seed, so sweeps are reproducible end to end.
+/// deterministic per-cell seed, so sweeps are reproducible end to end — and
+/// cells run in parallel on [`Sweep::threads`] workers without changing the
+/// outcome.
 pub struct Sweep {
     specs: Vec<(String, DealSpec)>,
-    engines: Vec<(String, Box<dyn DealEngine>)>,
+    engines: Vec<(String, EngineFactory)>,
     networks: Vec<(String, NetworkModel)>,
     adversaries: AdversaryGen,
     base_seed: u64,
+    threads: Option<usize>,
 }
 
 impl Default for Sweep {
@@ -120,10 +147,21 @@ impl Default for Sweep {
     }
 }
 
+/// One enumerated cell: indices into the sweep's axes plus the derived seed.
+/// Enumeration happens serially in declaration order (including the skip
+/// bookkeeping), so seeds never depend on the thread count.
+struct Cell {
+    spec_ix: usize,
+    engine_ix: usize,
+    net_ix: usize,
+    adv_ix: usize,
+    seed: u64,
+}
+
 impl Sweep {
     /// An empty sweep: no specifications yet, the two commit-protocol
-    /// engines, a synchronous ∆ = 100 network, and the all-compliant
-    /// scenario.
+    /// engines, a synchronous ∆ = 100 network, the all-compliant scenario,
+    /// and as many worker threads as the machine offers.
     pub fn new() -> Self {
         Sweep {
             specs: Vec::new(),
@@ -131,6 +169,7 @@ impl Sweep {
             networks: vec![("synchronous ∆=100".into(), NetworkModel::synchronous(100))],
             adversaries: Box::new(|_| vec![("all compliant".into(), Vec::new())]),
             base_seed: 0,
+            threads: None,
         }
     }
 
@@ -146,9 +185,9 @@ impl Sweep {
         self
     }
 
-    /// Replaces the engines with the given labelled set (see
-    /// [`standard_engines`] and [`protocol_engines`]).
-    pub fn over_protocols(mut self, engines: Vec<(String, Box<dyn DealEngine>)>) -> Self {
+    /// Replaces the engines with the given labelled factory set (see
+    /// [`standard_engines`], [`protocol_engines`] and [`engine_factory`]).
+    pub fn over_protocols(mut self, engines: Vec<(String, EngineFactory)>) -> Self {
         self.engines = engines;
         self
     }
@@ -164,7 +203,7 @@ impl Sweep {
     /// [`crate::adversary::single_deviator_configs`] and friends).
     pub fn over_adversaries<F>(mut self, gen: F) -> Self
     where
-        F: Fn(&DealSpec) -> Vec<AdversaryScenario> + 'static,
+        F: Fn(&DealSpec) -> Vec<AdversaryScenario> + Send + Sync + 'static,
     {
         self.adversaries = Box::new(gen);
         self
@@ -176,42 +215,108 @@ impl Sweep {
         self
     }
 
+    /// Sets the number of worker threads (clamped to at least 1). The default
+    /// is the machine's available parallelism; `threads(1)` runs the classic
+    /// serial loop. The outcome is identical either way.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
     /// Executes the full cross-product and collects every point.
     pub fn run(&self) -> Result<SweepOutcome, DealError> {
-        let mut points = Vec::new();
+        // Phase 1 (serial): generate scenarios, probe engine support, and
+        // enumerate the executable cells in declaration order. This fixes
+        // each cell's seed and output slot before any execution happens.
+        let scenarios: Vec<Vec<AdversaryScenario>> = self
+            .specs
+            .iter()
+            .map(|(_, spec)| (self.adversaries)(spec))
+            .collect();
+        let probes: Vec<Box<dyn DealEngine>> =
+            self.engines.iter().map(|(_, make)| make()).collect();
+
+        let mut cells = Vec::new();
         let mut skipped = 0;
         let mut cell = 0u64;
-        for (spec_label, spec) in &self.specs {
-            let scenarios = (self.adversaries)(spec);
-            for (engine_label, engine) in &self.engines {
-                if !engine.supports(spec) {
-                    skipped += self.networks.len() * scenarios.len();
+        for (spec_ix, (_, spec)) in self.specs.iter().enumerate() {
+            for (engine_ix, probe) in probes.iter().enumerate() {
+                if !probe.supports(spec) {
+                    skipped += self.networks.len() * scenarios[spec_ix].len();
                     continue;
                 }
-                for (net_label, network) in &self.networks {
-                    for (adv_label, configs) in &scenarios {
+                for net_ix in 0..self.networks.len() {
+                    for adv_ix in 0..scenarios[spec_ix].len() {
                         let seed = self.base_seed.wrapping_add(cell);
                         cell += 1;
-                        let run = Deal::new(spec.clone())
-                            .network(*network)
-                            .parties(configs)
-                            .seed(seed)
-                            .run(engine.as_ref())?;
-                        points.push(SweepPoint {
-                            spec: spec_label.clone(),
-                            engine: engine_label.clone(),
-                            network: net_label.clone(),
-                            adversary: adv_label.clone(),
-                            deal: spec.clone(),
-                            configs: configs.clone(),
+                        cells.push(Cell {
+                            spec_ix,
+                            engine_ix,
+                            net_ix,
+                            adv_ix,
                             seed,
-                            run,
                         });
                     }
                 }
             }
         }
+
+        // Phase 2 (parallel): run the cells on the pool. Every worker builds
+        // its own engine per cell; results come back in cell order. A cell
+        // error fails the sweep fast: workers stop executing new cells once
+        // one has failed (serial runs therefore report the first error in
+        // cell order; parallel runs report the earliest-indexed error among
+        // the cells that ran before the flag was seen).
+        let threads = self.threads.unwrap_or_else(executor::available_threads);
+        let first_err: Mutex<Option<(usize, DealError)>> = Mutex::new(None);
+        let points: Vec<Option<SweepPoint>> = executor::run_indexed(cells.len(), threads, |i| {
+            if first_err.lock().expect("sweep error slot").is_some() {
+                return None;
+            }
+            match self.run_cell(&cells[i], &scenarios) {
+                Ok(point) => Some(point),
+                Err(e) => {
+                    let mut slot = first_err.lock().expect("sweep error slot");
+                    if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                        *slot = Some((i, e));
+                    }
+                    None
+                }
+            }
+        });
+        if let Some((_, e)) = first_err.into_inner().expect("sweep error slot") {
+            return Err(e);
+        }
+        let points = points.into_iter().flatten().collect();
         Ok(SweepOutcome { points, skipped })
+    }
+
+    /// Executes one enumerated cell (on whichever worker claimed it).
+    fn run_cell(
+        &self,
+        cell: &Cell,
+        scenarios: &[Vec<AdversaryScenario>],
+    ) -> Result<SweepPoint, DealError> {
+        let (spec_label, spec) = &self.specs[cell.spec_ix];
+        let (engine_label, make_engine) = &self.engines[cell.engine_ix];
+        let (net_label, network) = &self.networks[cell.net_ix];
+        let (adv_label, configs) = &scenarios[cell.spec_ix][cell.adv_ix];
+        let engine = make_engine();
+        let run = Deal::new(spec.clone())
+            .network(*network)
+            .parties(configs)
+            .seed(cell.seed)
+            .run(engine)?;
+        Ok(SweepPoint {
+            spec: spec_label.clone(),
+            engine: engine_label.clone(),
+            network: net_label.clone(),
+            adversary: adv_label.clone(),
+            deal: spec.clone(),
+            configs: configs.clone(),
+            seed: cell.seed,
+            run,
+        })
     }
 }
 
@@ -280,6 +385,69 @@ mod tests {
                 "{} / {} violated safety",
                 p.engine,
                 p.adversary
+            );
+        }
+    }
+
+    /// A failing cell fails the sweep (fail-fast), at any thread count.
+    #[test]
+    fn cell_errors_fail_the_sweep() {
+        use xchain_deals::engine::EngineRun;
+        use xchain_deals::outcome::ProtocolKind;
+        use xchain_sim::world::World;
+
+        #[derive(Clone)]
+        struct FailingEngine;
+        impl DealEngine for FailingEngine {
+            fn kind(&self) -> ProtocolKind {
+                ProtocolKind::Timelock
+            }
+            fn execute(
+                &self,
+                _world: &mut World,
+                _spec: &DealSpec,
+                _configs: &[PartyConfig],
+            ) -> Result<EngineRun, DealError> {
+                Err(DealError::Config("engine always fails".into()))
+            }
+        }
+
+        for threads in [1, 4] {
+            let err = Sweep::new()
+                .spec("broker", broker_spec())
+                .over_protocols(vec![("failing".into(), engine_factory(FailingEngine))])
+                .threads(threads)
+                .run()
+                .unwrap_err();
+            assert!(matches!(err, DealError::Config(_)), "threads={threads}");
+        }
+    }
+
+    /// The executor must not change what a sweep produces: point labels,
+    /// seeds, outcomes and gas totals are identical across thread counts.
+    #[test]
+    fn parallel_sweep_output_matches_serial() {
+        let run_with = |threads: usize| {
+            Sweep::new()
+                .spec("broker", broker_spec())
+                .spec("ring n=3", ring_spec(DealId(5), 3))
+                .over_protocols(standard_engines(100))
+                .seed(7)
+                .threads(threads)
+                .run()
+                .unwrap()
+        };
+        let serial = run_with(1);
+        let parallel = run_with(4);
+        assert_eq!(serial.skipped, parallel.skipped);
+        assert_eq!(serial.points.len(), parallel.points.len());
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.engine, b.engine);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(
+                a.run.outcome.metrics.total_gas(),
+                b.run.outcome.metrics.total_gas()
             );
         }
     }

@@ -21,7 +21,8 @@ use crate::asset::Asset;
 use crate::crypto::{KeyDirectory, PublicKey, Signature};
 use crate::error::{ChainError, ChainResult};
 use crate::gas::GasMeter;
-use crate::ids::{ChainId, ContractId, Owner, PartyId};
+use crate::ids::{ChainId, ContractId, Owner, PartyId, TokenId};
+use crate::intern::{InternedAsset, KindId, KindTable};
 use crate::ledger::{AssetLedger, LogEntry};
 use crate::time::Time;
 
@@ -33,6 +34,12 @@ use crate::time::Time;
 pub trait Contract: Any + Send {
     /// A short, stable name used in the chain log.
     fn type_name(&self) -> &'static str;
+
+    /// Called once when the contract is installed on a chain, handing it the
+    /// chain's shared [`KindTable`]. Contracts that keep asset state override
+    /// this to intern their kinds up front so their per-call paths work on
+    /// `Copy` [`KindId`]s instead of names. The default does nothing.
+    fn on_install(&mut self, _kinds: &KindTable) {}
 
     /// Upcast for downcasting to the concrete contract type.
     fn as_any(&self) -> &dyn Any;
@@ -163,6 +170,17 @@ impl<'a> CallCtx<'a> {
         Ok(self.keys.verify_words(sig, message))
     }
 
+    /// The chain's shared kind table.
+    pub fn kinds(&self) -> &KindTable {
+        self.assets.kinds()
+    }
+
+    /// Interns an asset's kind, returning the id-keyed counterpart contracts
+    /// store so their later ledger calls skip name resolution entirely.
+    pub fn intern_asset(&self, asset: &Asset) -> InternedAsset {
+        self.assets.intern_asset(asset)
+    }
+
     /// Moves an asset from the *caller* into the contract's custody. This is
     /// the escrow deposit path (Figure 3 line 8, `transferFrom(msg.sender,
     /// this, amount)`); it costs two storage writes like the ERC-20 call it
@@ -173,12 +191,26 @@ impl<'a> CallCtx<'a> {
             .transfer(self.caller, Owner::Contract(self.contract), asset)
     }
 
+    /// [`CallCtx::deposit_from_caller`] for a pre-interned asset.
+    pub fn deposit_interned_from_caller(&mut self, asset: &InternedAsset) -> ChainResult<()> {
+        self.charge_storage_writes(2)?;
+        self.assets
+            .transfer_interned(self.caller, Owner::Contract(self.contract), asset)
+    }
+
     /// Creates new units of an asset owned by the executing contract. Used by
     /// issuance contracts (token / ticket registries) that act as the minting
     /// authority for their asset kind. Costs one storage write.
     pub fn mint_to_self(&mut self, asset: &Asset) -> ChainResult<()> {
         self.charge_storage_write()?;
         self.assets.mint(Owner::Contract(self.contract), asset)
+    }
+
+    /// [`CallCtx::mint_to_self`] for a pre-interned asset.
+    pub fn mint_interned_to_self(&mut self, asset: &InternedAsset) -> ChainResult<()> {
+        self.charge_storage_write()?;
+        self.assets
+            .mint_interned(Owner::Contract(self.contract), asset)
     }
 
     /// Pays an asset out of the contract's custody to `to`. Costs two storage
@@ -189,9 +221,42 @@ impl<'a> CallCtx<'a> {
             .transfer(Owner::Contract(self.contract), to, asset)
     }
 
+    /// [`CallCtx::pay_out`] for a pre-interned asset: the zero-string escrow
+    /// release path.
+    pub fn pay_out_interned(&mut self, to: Owner, asset: &InternedAsset) -> ChainResult<()> {
+        self.charge_storage_writes(2)?;
+        self.assets
+            .transfer_interned(Owner::Contract(self.contract), to, asset)
+    }
+
+    /// Pays `amount` units of an interned fungible kind out of custody.
+    pub fn pay_out_fungible(&mut self, to: Owner, kind: KindId, amount: u64) -> ChainResult<()> {
+        self.charge_storage_writes(2)?;
+        self.assets
+            .transfer_fungible(Owner::Contract(self.contract), to, kind, amount)
+    }
+
+    /// Pays specific tokens of an interned non-fungible kind out of custody.
+    pub fn pay_out_tokens(
+        &mut self,
+        to: Owner,
+        kind: KindId,
+        tokens: &std::collections::BTreeSet<TokenId>,
+    ) -> ChainResult<()> {
+        self.charge_storage_writes(2)?;
+        self.assets
+            .transfer_tokens(Owner::Contract(self.contract), to, kind, tokens)
+    }
+
     /// True if the contract currently holds at least `asset`.
     pub fn holds(&self, asset: &Asset) -> bool {
         self.assets.holds(Owner::Contract(self.contract), asset)
+    }
+
+    /// True if the contract currently holds at least the pre-interned `asset`.
+    pub fn holds_interned(&self, asset: &InternedAsset) -> bool {
+        self.assets
+            .holds_interned(Owner::Contract(self.contract), asset)
     }
 
     /// True if `owner` currently holds at least `asset` (public chain state).

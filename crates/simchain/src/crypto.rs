@@ -26,26 +26,88 @@ impl fmt::Display for Hash {
     }
 }
 
-/// FNV-1a over a byte slice, then finalized with a splitmix64 avalanche so
-/// that nearby inputs produce well-spread outputs. Deterministic across runs.
-pub fn hash_bytes(bytes: &[u8]) -> Hash {
-    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-    const FNV_PRIME: u64 = 0x00000100000001b3;
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
+/// A streaming FNV-1a hasher over bytes and little-endian 64-bit words,
+/// finalized with a splitmix64 avalanche so that nearby inputs produce
+/// well-spread outputs. Deterministic across runs and platforms.
+///
+/// This is the allocation-free engine behind [`hash_bytes`] and
+/// [`hash_words`]: callers that used to assemble a scratch `Vec<u8>` per hash
+/// (word hashing, block hashing, HTLC hashlocks, signature digests) now feed
+/// the hasher directly. Feeding `write_u64(w)` is exactly equivalent to
+/// feeding `write(&w.to_le_bytes())`, so streaming and buffered callers
+/// produce identical hashes.
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl FnvHasher {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x00000100000001b3;
+
+    /// A hasher in its initial state.
+    pub fn new() -> Self {
+        FnvHasher(Self::OFFSET)
     }
-    Hash(splitmix64(h))
+
+    /// Feeds one byte.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    /// Feeds a byte slice.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Feeds one 64-bit word as its little-endian bytes.
+    #[inline]
+    pub fn write_u64(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Builder-style [`FnvHasher::write_u64`], for one-liner hash chains.
+    #[inline]
+    #[must_use]
+    pub fn chain_u64(mut self, w: u64) -> Self {
+        self.write_u64(w);
+        self
+    }
+
+    /// Finalizes the stream into a well-spread [`Hash`].
+    #[inline]
+    pub fn finish(&self) -> Hash {
+        Hash(splitmix64(self.0))
+    }
 }
 
-/// Hashes a sequence of 64-bit words (convenient for composing ids).
-pub fn hash_words(words: &[u64]) -> Hash {
-    let mut bytes = Vec::with_capacity(words.len() * 8);
-    for w in words {
-        bytes.extend_from_slice(&w.to_le_bytes());
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self::new()
     }
-    hash_bytes(&bytes)
+}
+
+/// FNV-1a over a byte slice (see [`FnvHasher`]). Deterministic across runs.
+pub fn hash_bytes(bytes: &[u8]) -> Hash {
+    let mut h = FnvHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Hashes a sequence of 64-bit words (convenient for composing ids) without
+/// materializing their byte encoding; equal to [`hash_bytes`] over the
+/// words' concatenated little-endian bytes.
+pub fn hash_words(words: &[u64]) -> Hash {
+    let mut h = FnvHasher::new();
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish()
 }
 
 /// The splitmix64 finalizer; also used to derive per-party key material.
@@ -181,20 +243,21 @@ impl KeyDirectory {
 
     /// Verifies a signature over a message. Returns false for unknown signers.
     pub fn verify(&self, sig: &Signature, message: &[u8]) -> bool {
+        self.verify_digest(sig, hash_bytes(message))
+    }
+
+    /// Verifies a signature over a message expressed as 64-bit words, without
+    /// materializing the byte encoding.
+    pub fn verify_words(&self, sig: &Signature, words: &[u64]) -> bool {
+        self.verify_digest(sig, hash_words(words))
+    }
+
+    /// The single tag check behind both message encodings.
+    fn verify_digest(&self, sig: &Signature, digest: Hash) -> bool {
         let Some((_, secret)) = self.entries.iter().find(|(pk, _)| *pk == sig.signer) else {
             return false;
         };
-        let digest = hash_bytes(message);
         sig.tag == splitmix64(secret ^ digest.0)
-    }
-
-    /// Verifies a signature over a message expressed as 64-bit words.
-    pub fn verify_words(&self, sig: &Signature, words: &[u64]) -> bool {
-        let mut bytes = Vec::with_capacity(words.len() * 8);
-        for w in words {
-            bytes.extend_from_slice(&w.to_le_bytes());
-        }
-        self.verify(sig, &bytes)
     }
 
     /// Number of registered parties.
@@ -291,6 +354,20 @@ mod tests {
         assert_eq!(hash_bytes(b"alice"), hash_bytes(b"alice"));
         assert_ne!(hash_bytes(b"alice"), hash_bytes(b"alicf"));
         assert_ne!(hash_words(&[1, 2]), hash_words(&[2, 1]));
+    }
+
+    #[test]
+    fn streaming_hasher_matches_buffered_hashing() {
+        let words = [1u64, 99, u64::MAX, 0];
+        assert_eq!(hash_words(&words), hash_bytes(&words_bytes(&words)));
+        let mut h = FnvHasher::new();
+        h.write(&words_bytes(&words));
+        assert_eq!(h.finish(), hash_words(&words));
+        assert_eq!(
+            FnvHasher::new().chain_u64(7).chain_u64(8).finish(),
+            hash_words(&[7, 8])
+        );
+        assert_eq!(FnvHasher::default().finish(), hash_bytes(&[]));
     }
 
     #[test]

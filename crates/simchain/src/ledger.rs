@@ -7,7 +7,9 @@
 //! contract execution with gas costs, (c) an append-only log that parties can
 //! monitor, and (d) a notion of chain time with bounded observation latency.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 use crate::asset::{Asset, AssetBag, AssetKind};
 use crate::contract::{CallCtx, Contract};
@@ -15,39 +17,83 @@ use crate::crypto::{KeyDirectory, KeyPair};
 use crate::error::{ChainError, ChainResult};
 use crate::gas::{GasMeter, GasUsage};
 use crate::ids::{ChainId, ContractId, Owner, PartyId, TokenId};
+use crate::intern::{InternedAsset, KindId, KindTable};
 use crate::time::{Duration, Time};
 
 /// Authoritative record of who owns what on one chain.
+///
+/// Ownership maps are keyed on interned [`KindId`]s, not kind names: every
+/// per-transaction ledger operation works on `Copy` keys, and name → id
+/// resolution happens by `&str` lookup in the shared [`KindTable`] — the
+/// transfer path never clones a `String`. Interned entry points
+/// ([`AssetLedger::transfer_interned`] and friends) skip even the name lookup
+/// for callers (escrow contracts) that pre-resolved their assets.
 #[derive(Debug, Clone, Default)]
 pub struct AssetLedger {
-    fungible: BTreeMap<(Owner, AssetKind), u64>,
-    non_fungible: BTreeMap<(AssetKind, TokenId), Owner>,
+    kinds: KindTable,
+    fungible: BTreeMap<(Owner, KindId), u64>,
+    non_fungible: BTreeMap<(KindId, TokenId), Owner>,
 }
 
 impl AssetLedger {
-    /// Creates an empty ledger.
+    /// Creates an empty ledger with its own private kind table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty ledger sharing the given kind table (used by
+    /// [`crate::world::World`] so every chain resolves the same names to the
+    /// same ids).
+    pub fn with_kinds(kinds: KindTable) -> Self {
+        AssetLedger {
+            kinds,
+            ..Self::default()
+        }
+    }
+
+    /// The kind table this ledger resolves names through.
+    pub fn kinds(&self) -> &KindTable {
+        &self.kinds
+    }
+
+    /// Interns an asset's kind, returning its id-keyed counterpart.
+    pub fn intern_asset(&self, asset: &Asset) -> InternedAsset {
+        self.kinds.intern_asset(asset)
     }
 
     /// Creates new units of an asset owned by `owner` (test/workload setup;
     /// real chains would do this in their native issuance rules).
     pub fn mint(&mut self, owner: Owner, asset: &Asset) -> ChainResult<()> {
+        let interned = self.kinds.intern_asset(asset);
+        self.mint_interned(owner, &interned)
+    }
+
+    /// [`AssetLedger::mint`] for a pre-interned asset.
+    pub fn mint_interned(&mut self, owner: Owner, asset: &InternedAsset) -> ChainResult<()> {
         match asset {
-            Asset::Fungible { kind, amount } => {
-                *self.fungible.entry((owner, kind.clone())).or_insert(0) += amount;
+            InternedAsset::Fungible { kind, amount } => {
+                *self.fungible.entry((owner, *kind)).or_insert(0) += amount;
                 Ok(())
             }
-            Asset::NonFungible { kind, tokens } => {
-                for t in tokens {
-                    if self.non_fungible.contains_key(&(kind.clone(), *t)) {
-                        return Err(ChainError::require(format!(
-                            "token {t} of kind '{kind}' already minted"
-                        )));
+            InternedAsset::NonFungible { kind, tokens } => {
+                // Single pass through the entry API; on a duplicate, roll back
+                // the tokens inserted earlier in this call so the mint stays
+                // all-or-nothing.
+                for (i, t) in tokens.iter().enumerate() {
+                    match self.non_fungible.entry((*kind, *t)) {
+                        Entry::Vacant(slot) => {
+                            slot.insert(owner);
+                        }
+                        Entry::Occupied(_) => {
+                            for minted in tokens.iter().take(i) {
+                                self.non_fungible.remove(&(*kind, *minted));
+                            }
+                            return Err(ChainError::require(format!(
+                                "token {t} of kind '{}' already minted",
+                                self.kinds.name_of(*kind)
+                            )));
+                        }
                     }
-                }
-                for t in tokens {
-                    self.non_fungible.insert((kind.clone(), *t), owner);
                 }
                 Ok(())
             }
@@ -56,82 +102,166 @@ impl AssetLedger {
 
     /// The fungible balance of `owner` in `kind`.
     pub fn balance(&self, owner: Owner, kind: &AssetKind) -> u64 {
-        self.fungible
-            .get(&(owner, kind.clone()))
-            .copied()
-            .unwrap_or(0)
+        match self.kinds.get(kind.name()) {
+            Some(id) => self.balance_id(owner, id),
+            None => 0,
+        }
+    }
+
+    /// The fungible balance of `owner` in an interned kind.
+    pub fn balance_id(&self, owner: Owner, kind: KindId) -> u64 {
+        self.fungible.get(&(owner, kind)).copied().unwrap_or(0)
     }
 
     /// The current owner of a non-fungible token, if it exists.
     pub fn token_owner(&self, kind: &AssetKind, token: TokenId) -> Option<Owner> {
-        self.non_fungible.get(&(kind.clone(), token)).copied()
+        self.token_owner_id(self.kinds.get(kind.name())?, token)
+    }
+
+    /// The current owner of a non-fungible token of an interned kind.
+    pub fn token_owner_id(&self, kind: KindId, token: TokenId) -> Option<Owner> {
+        self.non_fungible.get(&(kind, token)).copied()
     }
 
     /// True if `owner` holds at least `asset`.
     pub fn holds(&self, owner: Owner, asset: &Asset) -> bool {
         match asset {
             Asset::Fungible { kind, amount } => self.balance(owner, kind) >= *amount,
-            Asset::NonFungible { kind, tokens } => tokens
-                .iter()
-                .all(|t| self.token_owner(kind, *t) == Some(owner)),
+            Asset::NonFungible { kind, tokens } => match self.kinds.get(kind.name()) {
+                Some(id) => tokens
+                    .iter()
+                    .all(|t| self.token_owner_id(id, *t) == Some(owner)),
+                None => tokens.is_empty(),
+            },
         }
     }
 
-    /// Transfers `asset` from `from` to `to`, failing if `from` does not hold it.
+    /// True if `owner` holds at least the pre-interned `asset`.
+    pub fn holds_interned(&self, owner: Owner, asset: &InternedAsset) -> bool {
+        match asset {
+            InternedAsset::Fungible { kind, amount } => self.balance_id(owner, *kind) >= *amount,
+            InternedAsset::NonFungible { kind, tokens } => tokens
+                .iter()
+                .all(|t| self.token_owner_id(*kind, *t) == Some(owner)),
+        }
+    }
+
+    /// Transfers `asset` from `from` to `to`, failing if `from` does not hold
+    /// it. Resolves the kind by `&str` lookup — no clone on this path.
     pub fn transfer(&mut self, from: Owner, to: Owner, asset: &Asset) -> ChainResult<()> {
         match asset {
-            Asset::Fungible { kind, amount } => {
-                let have = self.balance(from, kind);
-                if have < *amount {
-                    return Err(ChainError::InsufficientBalance {
+            Asset::Fungible { kind, amount } => match self.kinds.get(kind.name()) {
+                Some(id) => self.transfer_fungible(from, to, id, *amount),
+                None if *amount == 0 => Ok(()),
+                None => Err(ChainError::InsufficientBalance {
+                    owner: from,
+                    kind: kind.name().to_string(),
+                    requested: *amount,
+                    available: 0,
+                }),
+            },
+            Asset::NonFungible { kind, tokens } => match self.kinds.get(kind.name()) {
+                Some(id) => self.transfer_tokens(from, to, id, tokens),
+                None => match tokens.iter().next() {
+                    None => Ok(()),
+                    Some(t) => Err(ChainError::NotTokenOwner {
                         owner: from,
                         kind: kind.name().to_string(),
-                        requested: *amount,
-                        available: have,
-                    });
-                }
-                if *amount == 0 {
-                    return Ok(());
-                }
-                *self.fungible.entry((from, kind.clone())).or_insert(0) -= amount;
-                *self.fungible.entry((to, kind.clone())).or_insert(0) += amount;
-                Ok(())
+                        token: *t,
+                    }),
+                },
+            },
+        }
+    }
+
+    /// [`AssetLedger::transfer`] for a pre-interned asset: the zero-string
+    /// fast path used by escrow release and HTLC payouts.
+    pub fn transfer_interned(
+        &mut self,
+        from: Owner,
+        to: Owner,
+        asset: &InternedAsset,
+    ) -> ChainResult<()> {
+        match asset {
+            InternedAsset::Fungible { kind, amount } => {
+                self.transfer_fungible(from, to, *kind, *amount)
             }
-            Asset::NonFungible { kind, tokens } => {
-                for t in tokens {
-                    if self.token_owner(kind, *t) != Some(from) {
-                        return Err(ChainError::NotTokenOwner {
-                            owner: from,
-                            kind: kind.name().to_string(),
-                            token: *t,
-                        });
-                    }
-                }
-                for t in tokens {
-                    self.non_fungible.insert((kind.clone(), *t), to);
-                }
-                Ok(())
+            InternedAsset::NonFungible { kind, tokens } => {
+                self.transfer_tokens(from, to, *kind, tokens)
             }
         }
     }
 
-    /// Everything `owner` holds on this chain.
+    /// Transfers `amount` units of an interned fungible kind.
+    pub fn transfer_fungible(
+        &mut self,
+        from: Owner,
+        to: Owner,
+        kind: KindId,
+        amount: u64,
+    ) -> ChainResult<()> {
+        let have = self.balance_id(from, kind);
+        if have < amount {
+            return Err(ChainError::InsufficientBalance {
+                owner: from,
+                kind: self.kinds.name_of(kind),
+                requested: amount,
+                available: have,
+            });
+        }
+        if amount == 0 {
+            return Ok(());
+        }
+        *self.fungible.entry((from, kind)).or_insert(0) -= amount;
+        *self.fungible.entry((to, kind)).or_insert(0) += amount;
+        Ok(())
+    }
+
+    /// Transfers specific tokens of an interned non-fungible kind.
+    pub fn transfer_tokens(
+        &mut self,
+        from: Owner,
+        to: Owner,
+        kind: KindId,
+        tokens: &BTreeSet<TokenId>,
+    ) -> ChainResult<()> {
+        for t in tokens {
+            if self.token_owner_id(kind, *t) != Some(from) {
+                return Err(ChainError::NotTokenOwner {
+                    owner: from,
+                    kind: self.kinds.name_of(kind),
+                    token: *t,
+                });
+            }
+        }
+        for t in tokens {
+            self.non_fungible.insert((kind, *t), to);
+        }
+        Ok(())
+    }
+
+    /// Everything `owner` holds on this chain (reporting path: resolves ids
+    /// back to names).
     pub fn holdings(&self, owner: Owner) -> AssetBag {
         let mut bag = AssetBag::new();
         for ((o, kind), amount) in &self.fungible {
             if *o == owner && *amount > 0 {
-                bag.add(&Asset::Fungible {
-                    kind: kind.clone(),
-                    amount: *amount,
-                });
+                if let Some(name) = self.kinds.resolve(*kind) {
+                    bag.add(&Asset::Fungible {
+                        kind: name,
+                        amount: *amount,
+                    });
+                }
             }
         }
         for ((kind, token), o) in &self.non_fungible {
             if *o == owner {
-                bag.add(&Asset::NonFungible {
-                    kind: kind.clone(),
-                    tokens: [*token].into_iter().collect(),
-                });
+                if let Some(name) = self.kinds.resolve(*kind) {
+                    bag.add(&Asset::NonFungible {
+                        kind: name,
+                        tokens: [*token].into_iter().collect(),
+                    });
+                }
             }
         }
         bag
@@ -139,9 +269,12 @@ impl AssetLedger {
 
     /// Total supply of a fungible kind across all owners (conservation checks).
     pub fn total_supply(&self, kind: &AssetKind) -> u64 {
+        let Some(id) = self.kinds.get(kind.name()) else {
+            return 0;
+        };
         self.fungible
             .iter()
-            .filter(|((_, k), _)| k == kind)
+            .filter(|((_, k), _)| *k == id)
             .map(|(_, v)| *v)
             .sum()
     }
@@ -198,8 +331,20 @@ pub struct Blockchain {
 }
 
 impl Blockchain {
-    /// Creates a chain with the given display name and block interval.
+    /// Creates a chain with the given display name and block interval, with
+    /// its own private kind table.
     pub fn new(id: ChainId, name: impl Into<String>, block_interval: Duration) -> Self {
+        Self::with_kinds(id, name, block_interval, KindTable::new())
+    }
+
+    /// Creates a chain sharing the given kind table (the world-owned interner;
+    /// see [`crate::world::World::add_chain`]).
+    pub fn with_kinds(
+        id: ChainId,
+        name: impl Into<String>,
+        block_interval: Duration,
+        kinds: KindTable,
+    ) -> Self {
         Blockchain {
             id,
             name: name.into(),
@@ -208,7 +353,7 @@ impl Blockchain {
             } else {
                 block_interval
             },
-            assets: AssetLedger::new(),
+            assets: AssetLedger::with_kinds(kinds),
             contracts: BTreeMap::new(),
             next_contract: 1,
             gas: GasMeter::unlimited(),
@@ -216,6 +361,11 @@ impl Blockchain {
             log: Vec::new(),
             log_seq: 0,
         }
+    }
+
+    /// The kind table this chain's ledger resolves names through.
+    pub fn kinds(&self) -> &KindTable {
+        self.assets.kinds()
     }
 
     /// The chain id.
@@ -245,10 +395,13 @@ impl Blockchain {
         &self.keys
     }
 
-    /// Installs a contract and returns its id.
-    pub fn install<C: Contract>(&mut self, contract: C) -> ContractId {
+    /// Installs a contract and returns its id. The contract receives the
+    /// chain's kind table through [`Contract::on_install`] so it can intern
+    /// and resolve asset kinds for its own state.
+    pub fn install<C: Contract>(&mut self, mut contract: C) -> ContractId {
         let id = ContractId(((self.id.0 as u64) << 32) | self.next_contract);
         self.next_contract += 1;
+        contract.on_install(self.assets.kinds());
         self.contracts.insert(id, Box::new(contract));
         id
     }

@@ -17,6 +17,7 @@ use crate::crypto::KeyPair;
 use crate::error::{ChainError, ChainResult};
 use crate::gas::GasUsage;
 use crate::ids::{ChainId, ContractId, Owner, PartyId};
+use crate::intern::KindTable;
 use crate::ledger::Blockchain;
 use crate::network::{NetworkModel, OfflineSchedule};
 use crate::time::{Duration, Time};
@@ -32,6 +33,7 @@ pub struct World {
     offline: OfflineSchedule,
     rng: StdRng,
     seed: u64,
+    kinds: KindTable,
 }
 
 impl World {
@@ -48,6 +50,7 @@ impl World {
             offline: OfflineSchedule::new(),
             rng: StdRng::seed_from_u64(seed),
             seed,
+            kinds: KindTable::new(),
         }
     }
 
@@ -95,12 +98,20 @@ impl World {
     // Chains
     // ------------------------------------------------------------------
 
+    /// The world-owned asset-kind interner. Every chain created by
+    /// [`World::add_chain`] shares it, so a kind name resolves to the same
+    /// [`crate::intern::KindId`] on all of this world's chains.
+    pub fn kinds(&self) -> &KindTable {
+        &self.kinds
+    }
+
     /// Creates a new blockchain with the given name and block interval and
-    /// returns its id. Existing parties' keys are registered on it.
+    /// returns its id. Existing parties' keys are registered on it, and it
+    /// shares the world's kind table.
     pub fn add_chain(&mut self, name: &str, block_interval: Duration) -> ChainId {
         let id = ChainId(self.next_chain);
         self.next_chain += 1;
-        let mut chain = Blockchain::new(id, name, block_interval);
+        let mut chain = Blockchain::with_kinds(id, name, block_interval, self.kinds.clone());
         for (party, kp) in &self.parties {
             chain.register_key(*party, kp);
         }

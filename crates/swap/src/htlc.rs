@@ -9,9 +9,10 @@ use std::any::Any;
 
 use xchain_sim::asset::Asset;
 use xchain_sim::contract::{CallCtx, Contract};
-use xchain_sim::crypto::{hash_words, Hash};
+use xchain_sim::crypto::{FnvHasher, Hash};
 use xchain_sim::error::ChainResult;
 use xchain_sim::ids::PartyId;
+use xchain_sim::intern::InternedAsset;
 use xchain_sim::time::Time;
 
 /// The lifecycle state of an HTLC.
@@ -27,14 +28,15 @@ pub enum HtlcState {
     Refunded,
 }
 
-/// A hashed-timelock escrow for a single asset.
+/// A hashed-timelock escrow for a single asset. The locked asset is stored
+/// interned, so claim and refund payouts never touch a kind-name `String`.
 #[derive(Debug, Clone)]
 pub struct HtlcContract {
     depositor: PartyId,
     beneficiary: PartyId,
     hashlock: Hash,
     timeout: Time,
-    asset: Option<Asset>,
+    asset: Option<InternedAsset>,
     state: HtlcState,
 }
 
@@ -52,9 +54,13 @@ impl HtlcContract {
         }
     }
 
-    /// Hashes a secret the way the contract expects.
+    /// Hashes a secret the way the contract expects (a streamed, allocation-
+    /// free domain-separated hash).
     pub fn hash_secret(secret: u64) -> Hash {
-        hash_words(&[0x5ec2e7, secret])
+        FnvHasher::new()
+            .chain_u64(0x5ec2e7)
+            .chain_u64(secret)
+            .finish()
     }
 
     /// Current lifecycle state.
@@ -78,7 +84,8 @@ impl HtlcContract {
             "only the depositor can fund",
         )?;
         ctx.require(!asset.is_empty(), "cannot fund with an empty asset")?;
-        ctx.deposit_from_caller(&asset)?;
+        let asset = ctx.intern_asset(&asset);
+        ctx.deposit_interned_from_caller(&asset)?;
         ctx.charge_storage_write()?;
         self.asset = Some(asset);
         self.state = HtlcState::Funded;
@@ -95,10 +102,10 @@ impl HtlcContract {
             "only the beneficiary can claim",
         )?;
         ctx.require(Self::hash_secret(secret) == self.hashlock, "wrong preimage")?;
-        let asset = self.asset.clone().expect("funded");
         ctx.charge_storage_write()?;
         self.state = HtlcState::Claimed;
-        ctx.pay_out(self.beneficiary.into(), &asset)?;
+        let asset = self.asset.as_ref().expect("funded");
+        ctx.pay_out_interned(self.beneficiary.into(), asset)?;
         ctx.emit("htlc-claimed", vec![secret])?;
         Ok(())
     }
@@ -107,10 +114,10 @@ impl HtlcContract {
     pub fn refund(&mut self, ctx: &mut CallCtx<'_>) -> ChainResult<()> {
         ctx.require(self.state == HtlcState::Funded, "not funded")?;
         ctx.require(ctx.now() >= self.timeout, "not timed out yet")?;
-        let asset = self.asset.clone().expect("funded");
         ctx.charge_storage_write()?;
         self.state = HtlcState::Refunded;
-        ctx.pay_out(self.depositor.into(), &asset)?;
+        let asset = self.asset.as_ref().expect("funded");
+        ctx.pay_out_interned(self.depositor.into(), asset)?;
         ctx.emit("htlc-refunded", vec![self.hashlock.0])?;
         Ok(())
     }

@@ -1,0 +1,107 @@
+//! Determinism of the parallel sweep executor: a fixed-seed sweep must
+//! produce the *same* `SweepOutcome` — point labels, seeds, per-chain
+//! resolutions, validation verdicts, and total gas — whether it runs on one
+//! thread or eight, and re-running the same configuration must be
+//! bit-identical. This is the contract that lets the experiments use every
+//! core without giving up reproducibility.
+
+use xchain_deals::builders::{auction_spec, broker_spec, ring_spec};
+use xchain_harness::adversary::single_deviator_configs;
+use xchain_harness::sweep::{standard_engines, Sweep, SweepOutcome};
+use xchain_sim::ids::DealId;
+use xchain_sim::network::NetworkModel;
+
+/// Builds the reference sweep: three workloads × three engines × two
+/// networks × (compliant + all single-deviator) scenarios, fixed seed.
+fn fixed_seed_sweep(threads: usize) -> SweepOutcome {
+    Sweep::new()
+        .spec("broker", broker_spec())
+        .spec("ring n=3", ring_spec(DealId(3), 3))
+        .spec("auction", auction_spec(DealId(4), &[30, 55]))
+        .over_protocols(standard_engines(100))
+        .over_networks(vec![
+            ("sync".into(), NetworkModel::synchronous(100)),
+            (
+                "eventually sync".into(),
+                NetworkModel::eventually_synchronous(300, 100, 600),
+            ),
+        ])
+        .over_adversaries(|spec| {
+            let mut scenarios = vec![("all compliant".to_string(), Vec::new())];
+            scenarios.extend(
+                single_deviator_configs(spec, 100)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| (format!("deviator #{i}"), c)),
+            );
+            scenarios
+        })
+        .seed(20260729)
+        .threads(threads)
+        .run()
+        .unwrap()
+}
+
+/// Flattens an outcome into a comparable fingerprint: every label and seed,
+/// plus a debug rendering of each point's full outcome (per-chain
+/// resolutions, holdings before/after, per-phase gas and durations).
+fn fingerprint(outcome: &SweepOutcome) -> Vec<String> {
+    outcome
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{}|{}|{}|{}|seed={}|gas={:?}|outcome={:?}",
+                p.spec,
+                p.engine,
+                p.network,
+                p.adversary,
+                p.seed,
+                p.run.outcome.metrics.total_gas(),
+                p.run.outcome
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_is_deterministic_across_thread_counts() {
+    let serial = fixed_seed_sweep(1);
+    let parallel = fixed_seed_sweep(8);
+    assert!(serial.points.len() > 100, "matrix should be non-trivial");
+    assert_eq!(serial.skipped, parallel.skipped);
+    let a = fingerprint(&serial);
+    let b = fingerprint(&parallel);
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x, y, "point #{i} differs between threads(1) and threads(8)");
+    }
+}
+
+#[test]
+fn rerunning_the_same_seed_is_bit_identical() {
+    let first = fixed_seed_sweep(8);
+    let second = fixed_seed_sweep(8);
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+    assert_eq!(first.skipped, second.skipped);
+}
+
+#[test]
+fn default_thread_count_matches_explicit_serial_run() {
+    // No .threads(..) call: the sweep picks available parallelism; the
+    // outcome must still match a serial run point for point.
+    let auto = Sweep::new()
+        .spec("broker", broker_spec())
+        .over_protocols(standard_engines(100))
+        .seed(5)
+        .run()
+        .unwrap();
+    let serial = Sweep::new()
+        .spec("broker", broker_spec())
+        .over_protocols(standard_engines(100))
+        .seed(5)
+        .threads(1)
+        .run()
+        .unwrap();
+    assert_eq!(fingerprint(&auto), fingerprint(&serial));
+}

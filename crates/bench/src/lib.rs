@@ -9,7 +9,10 @@
 //! passing `--json` to the binary writes the results as
 //! `BENCH_<suite>.json` at the repository root — an array of
 //! `{"name", "ns_per_iter", "median_ns", "iters"}` records — so the perf
-//! trajectory can be tracked across PRs (see `BENCH_baseline.json`).
+//! trajectory can be tracked across PRs (see `BENCH_baseline.json`), and
+//! passing `--diff BENCH_baseline.json` prints a regression table comparing
+//! the fresh run against the committed baseline (report-only: the
+//! `bench-baseline` CI job never fails on timing).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -68,22 +71,40 @@ pub fn bench<T>(name: &str, iters: u32, f: impl FnMut() -> T) {
     measure(name, iters, f);
 }
 
-/// A named collection of benchmark results with optional JSON output.
+/// A named collection of benchmark results with optional JSON output and
+/// baseline diffing.
 #[derive(Debug)]
 pub struct Suite {
     name: String,
     json: bool,
+    diff_against: Option<PathBuf>,
     results: Vec<BenchResult>,
 }
 
 impl Suite {
     /// Creates the suite for one bench binary, reading the process arguments:
-    /// `--json` enables writing `BENCH_<name>.json` on [`Suite::finish`].
+    /// `--json` enables writing `BENCH_<name>.json` on [`Suite::finish`];
+    /// `--diff <baseline.json>` (or `--diff=<baseline.json>`) compares the
+    /// fresh run against a committed baseline and prints a regression table
+    /// (report-only — timing never fails the run). Relative baseline paths
+    /// are resolved against the repository root.
     pub fn from_args(name: &str) -> Self {
-        let json = std::env::args().any(|a| a == "--json");
+        let args: Vec<String> = std::env::args().collect();
+        let json = args.iter().any(|a| a == "--json");
+        let mut diff_against = None;
+        for (i, a) in args.iter().enumerate() {
+            if let Some(path) = a.strip_prefix("--diff=") {
+                diff_against = Some(resolve_baseline(path));
+            } else if a == "--diff" {
+                if let Some(path) = args.get(i + 1) {
+                    diff_against = Some(resolve_baseline(path));
+                }
+            }
+        }
         Suite {
             name: name.to_string(),
             json,
+            diff_against,
             results: Vec::new(),
         }
     }
@@ -101,16 +122,130 @@ impl Suite {
     }
 
     /// Writes `BENCH_<suite>.json` at the repository root when the binary was
-    /// invoked with `--json`; otherwise does nothing.
+    /// invoked with `--json`, and prints the baseline regression table when
+    /// it was invoked with `--diff <baseline.json>`.
     pub fn finish(&self) {
-        if !self.json {
-            return;
+        if self.json {
+            let path = json_path(&self.name);
+            std::fs::write(&path, render_json(&self.results))
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!("wrote {}", path.display());
         }
-        let path = json_path(&self.name);
-        std::fs::write(&path, render_json(&self.results))
-            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-        println!("wrote {}", path.display());
+        if let Some(baseline_path) = &self.diff_against {
+            match std::fs::read_to_string(baseline_path) {
+                Ok(json) => {
+                    let baseline = parse_results(&json);
+                    print!("{}", render_diff(&self.results, &baseline));
+                }
+                // Report-only: a missing or unreadable baseline is a note,
+                // never a failure.
+                Err(e) => println!("no baseline at {}: {e}", baseline_path.display()),
+            }
+        }
     }
+}
+
+/// Resolves a `--diff` operand: absolute paths are used as given, relative
+/// ones (the committed `BENCH_baseline.json`) against the repository root.
+fn resolve_baseline(path: &str) -> PathBuf {
+    let p = PathBuf::from(path);
+    if p.is_absolute() {
+        p
+    } else {
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(p)
+    }
+}
+
+/// Parses a `BENCH_*.json` report produced by [`render_json`] back into
+/// results (hand-rolled: no serde in this sandbox). Tolerant of unknown
+/// fields; records missing a name or `ns_per_iter` are skipped.
+pub fn parse_results(json: &str) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = extract_str(line, "name") else {
+            continue;
+        };
+        let Some(ns_per_iter) = extract_num(line, "ns_per_iter") else {
+            continue;
+        };
+        out.push(BenchResult {
+            name,
+            ns_per_iter,
+            median_ns: extract_num(line, "median_ns").unwrap_or(ns_per_iter),
+            iters: extract_num(line, "iters").unwrap_or(0.0) as u32,
+        });
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    // Names are escaped by render_json (backslash + quote only).
+    let mut value = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                if let Some(escaped) = chars.next() {
+                    value.push(escaped);
+                }
+            }
+            '"' => return Some(value),
+            _ => value.push(c),
+        }
+    }
+    None
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    rest.parse().ok()
+}
+
+/// Renders the regression table comparing a fresh run against a baseline:
+/// one row per benchmark present in both, with the relative change and a
+/// marker on regressions beyond ±5%. Purely informational — callers (the
+/// `bench-baseline` CI job) never fail on timing.
+pub fn render_diff(current: &[BenchResult], baseline: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n{:<55} {:>14} {:>14} {:>9}\n",
+        "vs baseline", "baseline ns", "current ns", "delta"
+    ));
+    let mut missing = 0usize;
+    for r in current {
+        let Some(base) = baseline.iter().find(|b| b.name == r.name) else {
+            missing += 1;
+            continue;
+        };
+        let delta = if base.ns_per_iter > 0.0 {
+            (r.ns_per_iter - base.ns_per_iter) / base.ns_per_iter * 100.0
+        } else {
+            0.0
+        };
+        let marker = if delta > 5.0 {
+            "  << regression"
+        } else if delta < -5.0 {
+            "  << improvement"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "{:<55} {:>14.0} {:>14.0} {:>+8.1}%{}\n",
+            r.name, base.ns_per_iter, r.ns_per_iter, delta, marker
+        ));
+    }
+    if missing > 0 {
+        out.push_str(&format!("({missing} benchmark(s) not in baseline)\n"));
+    }
+    out
 }
 
 /// The repo-root path of a suite's JSON report.
@@ -192,6 +327,7 @@ mod tests {
         let mut suite = Suite {
             name: "test".into(),
             json: false,
+            diff_against: None,
             results: Vec::new(),
         };
         suite.bench("one", 3, || 1);
@@ -199,5 +335,74 @@ mod tests {
         assert_eq!(suite.results().len(), 2);
         assert_eq!(suite.results()[0].name, "one");
         suite.finish(); // json disabled: writes nothing, must not panic
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let results = vec![
+            BenchResult {
+                name: "suite/a\"b".into(),
+                ns_per_iter: 120.5,
+                median_ns: 130.0,
+                iters: 50,
+            },
+            BenchResult {
+                name: "suite/plain".into(),
+                ns_per_iter: 9.0,
+                median_ns: 9.5,
+                iters: 100,
+            },
+        ];
+        let parsed = parse_results(&render_json(&results));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "suite/a\"b");
+        assert_eq!(parsed[0].ns_per_iter, 120.5);
+        assert_eq!(parsed[0].median_ns, 130.0);
+        assert_eq!(parsed[1].iters, 100);
+    }
+
+    #[test]
+    fn committed_baseline_parses() {
+        let json = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_baseline.json"
+        ))
+        .expect("committed baseline");
+        let baseline = parse_results(&json);
+        assert!(baseline.len() > 10, "got {} records", baseline.len());
+        assert!(baseline
+            .iter()
+            .any(|r| r.name == "protocol_micro/fig3_broker_deal_timelock"));
+    }
+
+    #[test]
+    fn diff_table_flags_regressions_and_improvements() {
+        let base = |name: &str, ns: f64| BenchResult {
+            name: name.into(),
+            ns_per_iter: ns,
+            median_ns: ns,
+            iters: 1,
+        };
+        let baseline = vec![
+            base("same", 100.0),
+            base("slower", 100.0),
+            base("faster", 100.0),
+        ];
+        let current = vec![
+            base("same", 102.0),
+            base("slower", 150.0),
+            base("faster", 50.0),
+            base("new-bench", 10.0),
+        ];
+        let table = render_diff(&current, &baseline);
+        assert!(table.contains("slower"));
+        assert!(table.contains("<< regression"));
+        assert!(table.contains("<< improvement"));
+        assert!(table.contains("+50.0%"));
+        assert!(table.contains("-50.0%"));
+        assert!(table.contains("1 benchmark(s) not in baseline"));
+        // The unchanged row carries no marker.
+        let same_line = table.lines().find(|l| l.starts_with("same")).unwrap();
+        assert!(!same_line.contains("<<"));
     }
 }

@@ -51,9 +51,22 @@ pub enum CertFailure {
 impl Certificate {
     /// Builds a certificate from validator signatures over `payload`.
     pub fn new(epoch: u64, payload: &[u64], signatures: Vec<(ValidatorId, Signature)>) -> Self {
+        Certificate::issue(epoch, hash_words(payload), signatures)
+    }
+
+    /// Builds a certificate from signatures over a pre-computed payload
+    /// digest: the streaming issuance path used by the CBC log, which feeds
+    /// each record through an `FnvHasher` instead of materializing the
+    /// payload words. Equivalent to [`Certificate::new`] whenever
+    /// `payload_hash == hash_words(payload)`.
+    pub fn issue(
+        epoch: u64,
+        payload_hash: Hash,
+        signatures: Vec<(ValidatorId, Signature)>,
+    ) -> Self {
         Certificate {
             epoch,
-            payload_hash: hash_words(payload),
+            payload_hash,
             signatures,
         }
     }

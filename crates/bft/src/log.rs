@@ -143,10 +143,23 @@ pub struct CertifiedBlock {
 
 impl CertifiedBlock {
     /// The words the certificate signs: the index followed by the record words.
+    /// Verification sites use this to rebuild the signed payload; issuance
+    /// streams the same encoding through [`CertifiedBlock::certified_digest`].
     pub fn certified_words(index: u64, record: &CbcRecord) -> Vec<u64> {
         let mut w = vec![index];
         w.extend(record.to_words());
         w
+    }
+
+    /// The digest of [`CertifiedBlock::certified_words`], computed by
+    /// streaming the index and record through an [`FnvHasher`] — the
+    /// allocation-free certification path (no per-certification scratch
+    /// `Vec`).
+    pub fn certified_digest(index: u64, record: &CbcRecord) -> Hash {
+        let mut h = FnvHasher::new();
+        h.write_u64(index);
+        record.write_into(&mut h);
+        h.finish()
     }
 }
 
@@ -269,12 +282,14 @@ impl CbcLog {
             }
         }
         let index = self.blocks.len() as u64;
-        let words = CertifiedBlock::certified_words(index, &record);
+        // Streaming issuance: hash the certified payload once, sign the
+        // digest, and stamp it on the certificate — no scratch words `Vec`.
+        let digest = CertifiedBlock::certified_digest(index, &record);
         let sigs = self
             .validators
-            .quorum_sign(&words)
+            .quorum_sign_digest(digest)
             .ok_or(CbcError::QuorumUnavailable)?;
-        let certificate = Certificate::new(self.validators.epoch(), &words, sigs);
+        let certificate = Certificate::issue(self.validators.epoch(), digest, sigs);
         self.blocks.push(CertifiedBlock {
             index,
             time,
@@ -611,6 +626,35 @@ mod tests {
             let info = &cbc.epoch_infos()[block.certificate.epoch as usize];
             let words = CertifiedBlock::certified_words(block.index, &block.record);
             assert!(block.certificate.verify(info, &words, &dir).valid);
+        }
+    }
+
+    #[test]
+    fn streamed_certified_digest_matches_buffered_words() {
+        use xchain_sim::crypto::hash_words;
+        let records = [
+            CbcRecord::StartDeal {
+                deal: DealId(7),
+                plist: parties(3),
+            },
+            CbcRecord::CommitVote {
+                deal: DealId(7),
+                start_hash: Hash(99),
+                voter: PartyId(1),
+            },
+            CbcRecord::AbortVote {
+                deal: DealId(7),
+                start_hash: Hash(99),
+                voter: PartyId(2),
+            },
+            CbcRecord::Reconfigure { new_epoch: 4 },
+        ];
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(
+                CertifiedBlock::certified_digest(i as u64, r),
+                hash_words(&CertifiedBlock::certified_words(i as u64, r)),
+                "{r:?}"
+            );
         }
     }
 

@@ -162,6 +162,16 @@ impl ValidatorSet {
     /// validators are willing to sign — i.e. the honest quorum cannot be
     /// formed, which stalls the CBC (a liveness, never a safety, failure).
     pub fn quorum_sign(&self, message: &[u64]) -> Option<Vec<(ValidatorId, Signature)>> {
+        self.quorum_sign_digest(xchain_sim::crypto::hash_words(message))
+    }
+
+    /// [`ValidatorSet::quorum_sign`] over a pre-computed digest: the streaming
+    /// issuance path — each signer signs the digest directly, so certifying a
+    /// record costs one streamed hash and no scratch allocations.
+    pub fn quorum_sign_digest(
+        &self,
+        digest: xchain_sim::crypto::Hash,
+    ) -> Option<Vec<(ValidatorId, Signature)>> {
         let willing: Vec<_> = self
             .members
             .iter()
@@ -174,7 +184,7 @@ impl ValidatorSet {
             willing
                 .iter()
                 .take(self.quorum())
-                .map(|(id, kp)| (*id, kp.sign_words(message)))
+                .map(|(id, kp)| (*id, kp.sign_digest(digest)))
                 .collect(),
         )
     }

@@ -22,6 +22,7 @@ use crate::party::{config_of, PartyConfig};
 use crate::phases::{Phase, PhaseMetrics};
 use crate::setup::advance_one_observation;
 use crate::spec::DealSpec;
+use crate::strategy::{DealObserver, Vote};
 use crate::timelock::holdings_by_party;
 use crate::{setup, validation};
 
@@ -89,6 +90,12 @@ pub(crate) fn drive(
 
     let mut metrics = PhaseMetrics::new();
     let initial_holdings = holdings_by_party(world, spec);
+    // One observer per party, each with its own per-chain log cursors.
+    let mut observers: BTreeMap<PartyId, DealObserver> = spec
+        .parties
+        .iter()
+        .map(|&p| (p, DealObserver::new(spec)))
+        .collect();
 
     // ------------------------------------------------------------------
     // Clearing phase: create the CBC, publish startDeal, install contracts.
@@ -139,7 +146,14 @@ pub(crate) fn drive(
     let gas_before = world.total_gas();
     for e in &spec.escrows {
         let cfg = config_of(configs, e.owner);
-        if !cfg.will_escrow() {
+        let willing = {
+            let ctx = observers
+                .entry(e.owner)
+                .or_insert_with(|| DealObserver::new(spec))
+                .ctx(world, spec, e.owner, Phase::Escrow, None);
+            cfg.strategy.is_online(ctx.now) && cfg.strategy.on_escrow(&ctx)
+        };
+        if !willing {
             continue;
         }
         let contract = contracts[&e.chain];
@@ -170,7 +184,14 @@ pub(crate) fn drive(
     for (step, idx) in order.iter().enumerate() {
         let t = &spec.transfers[*idx];
         let cfg = config_of(configs, t.from);
-        if cfg.will_transfer() {
+        let willing = {
+            let ctx = observers
+                .entry(t.from)
+                .or_insert_with(|| DealObserver::new(spec))
+                .ctx(world, spec, t.from, Phase::Transfer, None);
+            cfg.strategy.is_online(ctx.now) && cfg.strategy.on_transfer(&ctx)
+        };
+        if willing {
             let contract = contracts[&t.chain];
             let _ = world.call(
                 t.chain,
@@ -195,8 +216,14 @@ pub(crate) fn drive(
     let mut validated: BTreeMap<PartyId, bool> = BTreeMap::new();
     for &p in &spec.parties {
         let cfg = config_of(configs, p);
-        let ok = validation::validate_cbc(world, spec, &info, &contracts, p)
-            && !matches!(cfg.deviation, crate::party::Deviation::RejectValidation);
+        let mechanical = validation::validate_cbc(world, spec, &info, &contracts, p);
+        let ok = {
+            let ctx = observers
+                .entry(p)
+                .or_insert_with(|| DealObserver::new(spec))
+                .ctx(world, spec, p, Phase::Validation, Some(mechanical));
+            cfg.strategy.on_validate(&ctx)
+        };
         validated.insert(p, ok);
     }
     advance_one_observation(world);
@@ -212,13 +239,25 @@ pub(crate) fn drive(
     // All parties vote in parallel (the CBC orders them).
     for &p in &spec.parties {
         let cfg = config_of(configs, p);
-        if world.is_offline(p, world.now()) {
+        if world.is_offline(p, world.now()) || !cfg.strategy.is_online(world.now()) {
             continue;
         }
-        if cfg.will_vote_commit() && validated.get(&p).copied().unwrap_or(false) {
-            let _ = cbc.vote_commit(world.now(), spec.deal, start_hash, p);
-        } else if cfg.votes_abort() {
-            let _ = cbc.vote_abort(world.now(), spec.deal, start_hash, p);
+        let verdict = validated.get(&p).copied().unwrap_or(false);
+        let vote = {
+            let ctx = observers
+                .entry(p)
+                .or_insert_with(|| DealObserver::new(spec))
+                .ctx(world, spec, p, Phase::Commit, Some(verdict));
+            cfg.strategy.on_vote(&ctx)
+        };
+        match vote {
+            Vote::Commit => {
+                let _ = cbc.vote_commit(world.now(), spec.deal, start_hash, p);
+            }
+            Vote::Abort => {
+                let _ = cbc.vote_abort(world.now(), spec.deal, start_hash, p);
+            }
+            Vote::Withhold => {}
         }
     }
     // The votes become observable after at most one network delay (longer
@@ -234,7 +273,10 @@ pub(crate) fn drive(
         world.advance_by(opts.patience);
         for &p in &spec.parties {
             let cfg = config_of(configs, p);
-            if cfg.is_compliant() && !world.is_offline(p, world.now()) {
+            if cfg.is_compliant()
+                && !world.is_offline(p, world.now())
+                && cfg.strategy.is_online(world.now())
+            {
                 // Keep trying compliant parties until one abort vote lands
                 // (the first candidate may itself be censored by the CBC).
                 if cbc

@@ -104,7 +104,9 @@ impl Deal {
     }
 
     /// Builds the world and executes the deal under `engine`, returning the
-    /// unified [`DealRun`].
+    /// unified [`DealRun`]. Stateful strategies get a clean interior state
+    /// for each execution ([`crate::party::fresh_configs`]), so re-running
+    /// one session is deterministic and concurrent sweep cells are isolated.
     pub fn run<E: DealEngine>(&self, engine: E) -> Result<DealRun, DealError> {
         if !engine.supports(&self.spec) {
             return Err(DealError::Config(format!(
@@ -113,7 +115,8 @@ impl Deal {
             )));
         }
         let mut world = self.build_world()?;
-        let run = engine.execute(&mut world, &self.spec, &self.configs)?;
+        let configs = crate::party::fresh_configs(&self.configs);
+        let run = engine.execute(&mut world, &self.spec, &configs)?;
         Ok(DealRun {
             world,
             outcome: run.outcome,
@@ -137,7 +140,8 @@ impl Deal {
                 engine.label()
             )));
         }
-        engine.execute(world, &self.spec, &self.configs)
+        let configs = crate::party::fresh_configs(&self.configs);
+        engine.execute(world, &self.spec, &configs)
     }
 }
 

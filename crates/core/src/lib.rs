@@ -49,11 +49,18 @@
 //!   commit protocol for eventually-synchronous networks (Section 6), with
 //!   validator-certified proofs of commit and abort.
 //!
-//! Party behaviour — compliant or deviating in a dozen ways — is configured
-//! with [`party::PartyConfig`], and the paper's Properties 1–3 are executable
-//! checks in [`properties`]. The pre-0.2 free functions (`run_timelock`,
-//! `run_cbc`) have been removed; the [`deal::Deal`] builder is the only entry
-//! point (see the migration table in CHANGES.md).
+//! Party behaviour is an **open adversary API**: a [`party::PartyConfig`]
+//! pairs a party with a [`strategy::Strategy`] — per-phase decision hooks fed
+//! an [`strategy::ObservationCtx`] (the party's own, cursor-fed view of the
+//! deal) — so adversaries can be adaptive and stateful, and new attacks are
+//! user code instead of core edits. The classic behaviours survive as
+//! [`party::Deviation`] descriptions realized by built-in strategies
+//! ([`strategy::strategies`]), alongside adversaries the old enum could not
+//! express (sore-loser, colluding coalitions, rational defectors). The
+//! paper's Properties 1–3 are executable checks in [`properties`]. The
+//! pre-0.2 free functions (`run_timelock`, `run_cbc`) have been removed; the
+//! [`deal::Deal`] builder is the only entry point (see the migration table in
+//! CHANGES.md).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -70,6 +77,7 @@ pub mod phases;
 pub mod properties;
 pub mod setup;
 pub mod spec;
+pub mod strategy;
 pub mod timelock;
 pub mod validation;
 
@@ -79,10 +87,11 @@ pub use digraph::{is_well_formed, DealDigraph};
 pub use engine::{DealEngine, EngineRun, Protocol, ProtocolExt};
 pub use error::DealError;
 pub use outcome::{ChainResolution, DealOutcome, ProtocolKind};
-pub use party::{config_of, Deviation, PartyConfig};
+pub use party::{config_of, fresh_configs, Deviation, PartyConfig};
 pub use phases::{Phase, PhaseMetrics};
 pub use properties::{
     check_conservation, check_safety, check_strong_liveness, check_weak_liveness, SafetyReport,
 };
 pub use spec::{DealSpec, EscrowSpec, TransferSpec};
+pub use strategy::{strategies, DealObserver, DealView, ObservationCtx, Strategy, Vote};
 pub use timelock::{TimelockOptions, TimelockRun};

@@ -1,19 +1,32 @@
-//! Party behaviours: compliant and deviating strategies.
+//! Party identity and behaviour configuration.
 //!
 //! The paper classifies parties only as *compliant* (they follow the protocol)
 //! or *deviating* (they do not, whether rationally or not), and deliberately
-//! makes no assumption about how many parties deviate. Deviation strategies
-//! here cover the failure and attack modes the paper discusses: crashing or
-//! walking away at any phase, refusing to escrow or transfer, withholding or
-//! never forwarding votes, voting abort, claiming dissatisfaction at
-//! validation, and being driven offline during the commit window.
+//! makes no assumption about how many parties deviate or how. Behaviour is
+//! therefore an open [`Strategy`] trait (see [`crate::strategy`]): a
+//! [`PartyConfig`] pairs a party with the strategy that answers its protocol
+//! decisions, and new adversaries are user code, not core edits.
+//!
+//! The [`Deviation`] enum survives as the *description* of the classic
+//! failure and attack modes the paper discusses — crashing or walking away at
+//! any phase, refusing to escrow or transfer, withholding or never forwarding
+//! votes, voting abort, claiming dissatisfaction at validation, and being
+//! driven offline during the commit window. [`PartyConfig::deviating`] turns
+//! a description into its built-in strategy, so legacy callers migrate
+//! mechanically (see the MIGRATION table in CHANGES.md).
+
+use std::fmt;
+use std::sync::Arc;
 
 use xchain_sim::ids::PartyId;
 use xchain_sim::time::Time;
 
 use crate::phases::Phase;
+use crate::strategy::{strategies, Strategy};
 
-/// How a party deviates from the protocol, if at all.
+/// How a party deviates from the protocol, if at all: the catalog of classic
+/// behaviours, each realized by a built-in [`Strategy`]
+/// (`strategies::from_deviation`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Deviation {
     /// Follows the protocol exactly.
@@ -48,13 +61,25 @@ pub enum Deviation {
     },
 }
 
-/// The behaviour configuration of one party in a deal execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The behaviour configuration of one party in a deal execution: the party
+/// plus the [`Strategy`] that makes its decisions. Cloning shares the
+/// strategy (an `Arc`), which is what a colluding coalition wants; per-run
+/// state isolation is provided by [`fresh_configs`].
+#[derive(Clone)]
 pub struct PartyConfig {
     /// The party.
     pub id: PartyId,
-    /// Its deviation, if any.
-    pub deviation: Deviation,
+    /// The behaviour driving it.
+    pub strategy: Arc<dyn Strategy>,
+}
+
+impl fmt::Debug for PartyConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PartyConfig")
+            .field("id", &self.id)
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
 }
 
 impl PartyConfig {
@@ -62,75 +87,36 @@ impl PartyConfig {
     pub fn compliant(id: PartyId) -> Self {
         PartyConfig {
             id,
-            deviation: Deviation::None,
+            strategy: strategies::compliant(),
         }
     }
 
-    /// A deviating party with the given strategy.
+    /// A party following one of the classic deviation behaviours (the legacy
+    /// entry point; equivalent to `with_strategy(id,
+    /// strategies::from_deviation(deviation))`).
     pub fn deviating(id: PartyId, deviation: Deviation) -> Self {
-        PartyConfig { id, deviation }
+        PartyConfig {
+            id,
+            strategy: strategies::from_deviation(deviation),
+        }
+    }
+
+    /// A party driven by an arbitrary strategy — the open adversary API.
+    pub fn with_strategy(id: PartyId, strategy: Arc<dyn Strategy>) -> Self {
+        PartyConfig { id, strategy }
     }
 
     /// True if the party follows the protocol exactly. Parties that go
     /// offline during the run are classified as deviating, matching the
     /// paper's treatment of parties that fail to act in time.
     pub fn is_compliant(&self) -> bool {
-        matches!(self.deviation, Deviation::None)
+        self.strategy.is_compliant()
     }
 
-    /// True if this party still acts during `phase` (it has not crashed or
-    /// walked away before it).
-    pub fn participates_in(&self, phase: Phase) -> bool {
-        match self.deviation {
-            Deviation::CrashAfter(last) => phase <= last,
-            _ => true,
-        }
-    }
-
-    /// True if the party escrows its outgoing assets.
-    pub fn will_escrow(&self) -> bool {
-        !matches!(self.deviation, Deviation::RefuseEscrow) && self.participates_in(Phase::Escrow)
-    }
-
-    /// True if the party performs its tentative transfers.
-    pub fn will_transfer(&self) -> bool {
-        !matches!(
-            self.deviation,
-            Deviation::RefuseEscrow | Deviation::SkipTransfers
-        ) && self.participates_in(Phase::Transfer)
-    }
-
-    /// True if the party votes to commit (assuming validation succeeded).
-    pub fn will_vote_commit(&self) -> bool {
-        !matches!(
-            self.deviation,
-            Deviation::RefuseEscrow
-                | Deviation::SkipTransfers
-                | Deviation::WithholdVote
-                | Deviation::VoteAbort
-                | Deviation::RejectValidation
-        ) && self.participates_in(Phase::Commit)
-    }
-
-    /// True if the party forwards other parties' votes (timelock protocol).
-    pub fn will_forward_votes(&self) -> bool {
-        self.will_vote_commit() && !matches!(self.deviation, Deviation::NeverForward)
-    }
-
-    /// True if the party votes abort on the CBC during the commit phase.
-    pub fn votes_abort(&self) -> bool {
-        matches!(
-            self.deviation,
-            Deviation::VoteAbort | Deviation::RejectValidation
-        ) && self.participates_in(Phase::Commit)
-    }
-
-    /// The offline window, if this party has one.
+    /// The offline window to register with the world, if the strategy models
+    /// one.
     pub fn offline_window(&self) -> Option<(Time, Time)> {
-        match self.deviation {
-            Deviation::OfflineDuring { from, until } => Some((from, until)),
-            _ => None,
-        }
+        self.strategy.offline_window()
     }
 }
 
@@ -139,65 +125,57 @@ pub fn config_of(configs: &[PartyConfig], id: PartyId) -> PartyConfig {
     configs
         .iter()
         .find(|c| c.id == id)
-        .copied()
+        .cloned()
         .unwrap_or_else(|| PartyConfig::compliant(id))
+}
+
+/// Clones a configuration set for one deal execution, giving stateful
+/// strategies a clean interior state (via [`Strategy::fresh`]) while
+/// preserving sharing: configs that held the *same* `Arc` — a coalition —
+/// receive the same fresh instance. Stateless strategies are shared as-is.
+/// [`crate::deal::Deal::run`] calls this before every execution, so repeated
+/// runs of one session and concurrent sweep cells never see each other's
+/// strategy state.
+pub fn fresh_configs(configs: &[PartyConfig]) -> Vec<PartyConfig> {
+    let mut replaced: Vec<(*const (), Arc<dyn Strategy>)> = Vec::new();
+    configs
+        .iter()
+        .map(|c| {
+            let key = Arc::as_ptr(&c.strategy) as *const ();
+            let strategy = match replaced.iter().find(|(k, _)| *k == key) {
+                Some((_, fresh)) => fresh.clone(),
+                None => {
+                    let fresh = c.strategy.fresh().unwrap_or_else(|| c.strategy.clone());
+                    replaced.push((key, fresh.clone()));
+                    fresh
+                }
+            };
+            PartyConfig { id: c.id, strategy }
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::{DealView, ObservationCtx, Vote};
 
     #[test]
-    fn compliant_party_does_everything() {
+    fn compliant_and_deviating_classification() {
         let c = PartyConfig::compliant(PartyId(0));
         assert!(c.is_compliant());
-        assert!(c.will_escrow());
-        assert!(c.will_transfer());
-        assert!(c.will_vote_commit());
-        assert!(c.will_forward_votes());
-        assert!(!c.votes_abort());
         assert_eq!(c.offline_window(), None);
-    }
-
-    #[test]
-    fn crash_after_phase_stops_later_phases() {
-        let c = PartyConfig::deviating(PartyId(1), Deviation::CrashAfter(Phase::Escrow));
-        assert!(!c.is_compliant());
-        assert!(c.will_escrow());
-        assert!(!c.will_transfer());
-        assert!(!c.will_vote_commit());
-        let c = PartyConfig::deviating(PartyId(1), Deviation::CrashAfter(Phase::Validation));
-        assert!(c.will_escrow());
-        assert!(c.will_transfer());
-        assert!(!c.will_vote_commit());
-    }
-
-    #[test]
-    fn vote_strategies() {
-        assert!(!PartyConfig::deviating(PartyId(0), Deviation::WithholdVote).will_vote_commit());
-        let abort = PartyConfig::deviating(PartyId(0), Deviation::VoteAbort);
-        assert!(!abort.will_vote_commit());
-        assert!(abort.votes_abort());
-        let nf = PartyConfig::deviating(PartyId(0), Deviation::NeverForward);
-        assert!(nf.will_vote_commit());
-        assert!(!nf.will_forward_votes());
-        assert!(!PartyConfig::deviating(PartyId(0), Deviation::RefuseEscrow).will_escrow());
-        assert!(!PartyConfig::deviating(PartyId(0), Deviation::SkipTransfers).will_transfer());
-    }
-
-    #[test]
-    fn offline_window_reported() {
-        let c = PartyConfig::deviating(
-            PartyId(0),
+        let d = PartyConfig::deviating(PartyId(1), Deviation::WithholdVote);
+        assert!(!d.is_compliant());
+        let off = PartyConfig::deviating(
+            PartyId(2),
             Deviation::OfflineDuring {
                 from: Time(5),
                 until: Time(10),
             },
         );
-        assert!(!c.is_compliant());
-        assert_eq!(c.offline_window(), Some((Time(5), Time(10))));
-        // It still intends to act in every phase (when online).
-        assert!(c.will_vote_commit());
+        assert!(!off.is_compliant());
+        assert_eq!(off.offline_window(), Some((Time(5), Time(10))));
     }
 
     #[test]
@@ -205,5 +183,45 @@ mod tests {
         let configs = vec![PartyConfig::deviating(PartyId(1), Deviation::WithholdVote)];
         assert!(config_of(&configs, PartyId(0)).is_compliant());
         assert!(!config_of(&configs, PartyId(1)).is_compliant());
+    }
+
+    #[test]
+    fn fresh_configs_preserves_sharing_and_resets_state() {
+        use crate::strategy::strategies;
+        let shared = strategies::coalition([PartyId(0), PartyId(1)]);
+        let solo = strategies::sore_loser();
+        let configs = vec![
+            PartyConfig::with_strategy(PartyId(0), shared.clone()),
+            PartyConfig::with_strategy(PartyId(1), shared),
+            PartyConfig::with_strategy(PartyId(2), solo),
+        ];
+        let fresh = fresh_configs(&configs);
+        // The two coalition members still share one (new) instance …
+        assert!(Arc::ptr_eq(&fresh[0].strategy, &fresh[1].strategy));
+        // … which is not the prototype.
+        assert!(!Arc::ptr_eq(&fresh[0].strategy, &configs[0].strategy));
+        // Stateless strategies are shared as-is.
+        assert!(Arc::ptr_eq(&fresh[2].strategy, &configs[2].strategy));
+    }
+
+    #[test]
+    fn deviating_config_answers_through_its_strategy() {
+        let spec = crate::builders::broker_spec();
+        let view = DealView::default();
+        let ctx = ObservationCtx {
+            party: PartyId(0),
+            phase: Phase::Commit,
+            now: Time(0),
+            spec: &spec,
+            view: &view,
+            validated: Some(true),
+        };
+        let c = PartyConfig::deviating(PartyId(0), Deviation::RefuseEscrow);
+        assert!(!c.strategy.on_escrow(&ctx));
+        let c = PartyConfig::deviating(PartyId(0), Deviation::VoteAbort);
+        assert_eq!(c.strategy.on_vote(&ctx), Vote::Abort);
+        let c = PartyConfig::deviating(PartyId(0), Deviation::CrashAfter(Phase::Escrow));
+        assert!(c.strategy.on_escrow(&ctx));
+        assert!(!c.strategy.on_transfer(&ctx));
     }
 }

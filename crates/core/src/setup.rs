@@ -94,16 +94,18 @@ pub fn pick_online_party(
     configs: &[crate::party::PartyConfig],
 ) -> Option<PartyId> {
     let now = world.now();
-    let compliant_first = spec.parties.iter().copied().filter(|p| {
-        crate::party::config_of(configs, *p).is_compliant() && !world.is_offline(*p, now)
-    });
+    let available = |p: PartyId| {
+        !world.is_offline(p, now) && crate::party::config_of(configs, p).strategy.is_online(now)
+    };
+    let compliant_first = spec
+        .parties
+        .iter()
+        .copied()
+        .filter(|&p| crate::party::config_of(configs, p).is_compliant() && available(p));
     if let Some(p) = compliant_first.into_iter().next() {
         return Some(p);
     }
-    spec.parties
-        .iter()
-        .copied()
-        .find(|p| !world.is_offline(*p, now))
+    spec.parties.iter().copied().find(|&p| available(p))
 }
 
 /// Returns the chains a party must interact with under the timelock protocol

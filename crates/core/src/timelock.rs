@@ -3,9 +3,11 @@
 //! This module drives a complete deal execution over the simulated world:
 //! clearing, escrow, tentative transfers, validation, and the vote /
 //! vote-forwarding commit phase with path-signature timeouts. Party behaviour
-//! is controlled by [`PartyConfig`] strategies, so both the all-compliant
-//! executions of Theorem 5.3 and the adversarial executions of Theorem 5.1
-//! are produced by the same engine.
+//! is controlled by each [`PartyConfig`]'s [`crate::strategy::Strategy`]: at
+//! every decision point the engine refreshes the party's [`DealObserver`]
+//! (cursor-fed, O(new log entries)) and asks the strategy, so both the
+//! all-compliant executions of Theorem 5.3 and arbitrary adversarial
+//! executions (Theorem 5.1) are produced by the same engine.
 
 use std::collections::BTreeMap;
 
@@ -23,6 +25,7 @@ use crate::party::{config_of, PartyConfig};
 use crate::phases::{Phase, PhaseMetrics};
 use crate::setup::advance_one_observation;
 use crate::spec::DealSpec;
+use crate::strategy::{DealObserver, Vote};
 use crate::{setup, validation};
 
 /// Tunable options for the timelock protocol engine.
@@ -89,6 +92,13 @@ pub(crate) fn drive(
 
     let mut metrics = PhaseMetrics::new();
     let initial_holdings = holdings_by_party(world, spec);
+    // One observer per party: each keeps its own per-chain log cursors, so a
+    // strategy's view is both private and O(new entries) to refresh.
+    let mut observers: BTreeMap<PartyId, DealObserver> = spec
+        .parties
+        .iter()
+        .map(|&p| (p, DealObserver::new(spec)))
+        .collect();
 
     // ------------------------------------------------------------------
     // Clearing phase: broadcast (D, plist, t0, ∆) and install the escrow
@@ -126,7 +136,14 @@ pub(crate) fn drive(
     let gas_before = world.total_gas();
     for e in &spec.escrows {
         let cfg = config_of(configs, e.owner);
-        if !cfg.will_escrow() {
+        let willing = {
+            let ctx = observers
+                .entry(e.owner)
+                .or_insert_with(|| DealObserver::new(spec))
+                .ctx(world, spec, e.owner, Phase::Escrow, None);
+            cfg.strategy.is_online(ctx.now) && cfg.strategy.on_escrow(&ctx)
+        };
+        if !willing {
             continue;
         }
         let contract = contracts[&e.chain];
@@ -157,7 +174,14 @@ pub(crate) fn drive(
     for (step, idx) in order.iter().enumerate() {
         let t = &spec.transfers[*idx];
         let cfg = config_of(configs, t.from);
-        if cfg.will_transfer() {
+        let willing = {
+            let ctx = observers
+                .entry(t.from)
+                .or_insert_with(|| DealObserver::new(spec))
+                .ctx(world, spec, t.from, Phase::Transfer, None);
+            cfg.strategy.is_online(ctx.now) && cfg.strategy.on_transfer(&ctx)
+        };
+        if willing {
             let contract = contracts[&t.chain];
             let _ = world.call(
                 t.chain,
@@ -183,8 +207,16 @@ pub(crate) fn drive(
     let mut validated: BTreeMap<PartyId, bool> = BTreeMap::new();
     for &p in &spec.parties {
         let cfg = config_of(configs, p);
-        let ok = validation::validate_timelock(world, spec, &info, &contracts, p)
-            && !matches!(cfg.deviation, crate::party::Deviation::RejectValidation);
+        // The mechanical verdict (escrows present, deal info consistent)
+        // rides in the context; the strategy decides whether to accept it.
+        let mechanical = validation::validate_timelock(world, spec, &info, &contracts, p);
+        let ok = {
+            let ctx = observers
+                .entry(p)
+                .or_insert_with(|| DealObserver::new(spec))
+                .ctx(world, spec, p, Phase::Validation, Some(mechanical));
+            cfg.strategy.on_validate(&ctx)
+        };
         validated.insert(p, ok);
     }
     advance_one_observation(world);
@@ -203,7 +235,15 @@ pub(crate) fn drive(
     // (or on every chain when broadcasting altruistically).
     for &p in &spec.parties {
         let cfg = config_of(configs, p);
-        if !cfg.will_vote_commit() || !validated.get(&p).copied().unwrap_or(false) {
+        let verdict = validated.get(&p).copied().unwrap_or(false);
+        let votes_commit = {
+            let ctx = observers
+                .entry(p)
+                .or_insert_with(|| DealObserver::new(spec))
+                .ctx(world, spec, p, Phase::Commit, Some(verdict));
+            cfg.strategy.is_online(ctx.now) && cfg.strategy.on_vote(&ctx) == Vote::Commit
+        };
+        if !votes_commit {
             continue;
         }
         let target_chains: Vec<ChainId> = if opts.altruistic_broadcast {
@@ -246,7 +286,15 @@ pub(crate) fn drive(
         let snapshot = published.clone();
         for &p in &spec.parties {
             let cfg = config_of(configs, p);
-            if !cfg.will_forward_votes() || !validated.get(&p).copied().unwrap_or(false) {
+            let verdict = validated.get(&p).copied().unwrap_or(false);
+            let forwards = {
+                let ctx = observers
+                    .entry(p)
+                    .or_insert_with(|| DealObserver::new(spec))
+                    .ctx(world, spec, p, Phase::Commit, Some(verdict));
+                cfg.strategy.is_online(ctx.now) && cfg.strategy.on_forward(&ctx)
+            };
+            if !forwards {
                 continue;
             }
             let outgoing = spec.outgoing_chains_of(p);

@@ -24,9 +24,12 @@ use xchain_sim::network::NetworkModel;
 use xchain_sim::time::Duration;
 use xchain_swap::expressible_as_swap;
 
-use crate::adversary::{all_but_one_deviate, single_deviator_configs};
+use crate::adversary::{
+    all_but_one_deviate, coalition_scenario, novel_strategy_scenarios, rational_defector_scenarios,
+    single_deviator_configs, sore_loser_scenario,
+};
 use crate::report::Table;
-use crate::sweep::{protocol_engines, standard_engines, Sweep};
+use crate::sweep::{protocol_engines, standard_engines, AdversaryScenario, Sweep};
 
 /// The ∆ used throughout the experiments (ticks).
 pub const DELTA: u64 = 100;
@@ -336,6 +339,9 @@ pub fn safety_sweep() -> (SafetySweepResult, Table) {
                         .map(|(i, c)| (format!("all but {honest} deviate #{i}"), c)),
                 );
             }
+            // The trait-only adversaries (sore-loser, coalition, rational
+            // defector) must satisfy the same properties.
+            scenarios.extend(novel_strategy_scenarios(spec));
             scenarios
         })
         .seed(100)
@@ -415,16 +421,31 @@ pub fn liveness_experiment() -> Table {
     t
 }
 
-/// One row of the protocol × network matrix:
-/// `(deal, engine, network, committed everywhere, safety holds)`.
-pub type MatrixRow = (String, String, String, bool, bool);
+/// One row of the protocol × network × strategy matrix:
+/// `(deal, engine, network, adversary, committed everywhere, safety holds)`.
+pub type MatrixRow = (String, String, String, String, bool, bool);
 
-/// The protocol × network matrix: all three engines (timelock, CBC, HTLC
-/// swap) over synchronous and eventually-synchronous networks, on a deal each
-/// engine can express. Reproduces the paper's synchrony story in one sweep:
-/// the CBC commits under both models, the timelock protocol is only
-/// guaranteed to commit under synchrony (it stays *safe* regardless), and the
-/// swap engine covers the two-party case.
+/// The named strategies the matrix enumerates on its adversary axis: the
+/// all-compliant baseline plus one representative assignment of each
+/// trait-only adversary (sore-loser at the first party, a coalition of the
+/// first two, a rational defector at the last party with a stingy and a
+/// generous token valuation).
+fn matrix_strategy_scenarios(spec: &DealSpec) -> Vec<AdversaryScenario> {
+    let mut scenarios = vec![("all compliant".to_string(), Vec::new())];
+    scenarios.push(sore_loser_scenario(spec.parties[0]));
+    scenarios.extend(coalition_scenario(spec));
+    scenarios.extend(rational_defector_scenarios(spec));
+    scenarios
+}
+
+/// The protocol × network × strategy matrix: all three engines (timelock,
+/// CBC, HTLC swap) over synchronous and eventually-synchronous networks, on a
+/// deal each engine can express, against the named adversary strategies of
+/// [`matrix_strategy_scenarios`]. Reproduces the paper's synchrony story in
+/// one sweep — the CBC commits under both models when everyone is compliant,
+/// the timelock protocol is only guaranteed to commit under synchrony (it
+/// stays *safe* regardless), the swap engine covers the two-party case — and
+/// shows that no strategy, however adaptive, harms a compliant party.
 pub fn protocol_matrix_experiment() -> (Vec<MatrixRow>, Table) {
     let outcome = Sweep::new()
         .spec("two-party exchange", two_party_deal())
@@ -437,13 +458,21 @@ pub fn protocol_matrix_experiment() -> (Vec<MatrixRow>, Table) {
                 NetworkModel::eventually_synchronous(5 * DELTA, DELTA, 10 * DELTA),
             ),
         ])
+        .over_adversaries(matrix_strategy_scenarios)
         .seed(500)
         .run()
         .unwrap();
     let mut rows = Vec::new();
     let mut t = Table::new(
-        "Protocol × network matrix (all parties compliant)",
-        &["deal", "engine", "network", "committed", "safety holds"],
+        "Protocol × network × strategy matrix",
+        &[
+            "deal",
+            "engine",
+            "network",
+            "adversary",
+            "committed",
+            "safety holds",
+        ],
     );
     for p in &outcome.points {
         let committed = p.run.outcome.committed_everywhere();
@@ -452,6 +481,7 @@ pub fn protocol_matrix_experiment() -> (Vec<MatrixRow>, Table) {
             p.spec.clone(),
             p.engine.clone(),
             p.network.clone(),
+            p.adversary.clone(),
             committed,
             safe,
         ));
@@ -459,6 +489,7 @@ pub fn protocol_matrix_experiment() -> (Vec<MatrixRow>, Table) {
             p.spec.clone(),
             p.engine.clone(),
             p.network.clone(),
+            p.adversary.clone(),
             committed.to_string(),
             safe.to_string(),
         ]);
@@ -716,24 +747,52 @@ mod tests {
     }
 
     #[test]
-    fn protocol_matrix_covers_three_engines_and_two_networks() {
+    fn protocol_matrix_covers_engines_networks_and_strategies() {
         let (rows, _) = protocol_matrix_experiment();
-        // 2 deals × {timelock, CBC} × 2 networks, plus the swap engine on the
-        // one deal it can express × 2 networks.
-        assert_eq!(rows.len(), 10);
-        for (deal, engine, network, committed, safe) in &rows {
-            // Safety holds in every cell.
-            assert!(safe, "{deal}/{engine}/{network} violated safety");
-            // The CBC does not rely on synchrony: it commits everywhere.
-            if engine == "CBC" {
-                assert!(committed, "CBC should commit on {network}");
+        // Per deal: 5 strategy scenarios (compliant, sore-loser, coalition,
+        // 2 rational defectors). 2 deals × {timelock, CBC} × 2 networks × 5,
+        // plus the swap engine on the one deal it can express × 2 × 5.
+        assert_eq!(rows.len(), 50);
+        for (deal, engine, network, adversary, committed, safe) in &rows {
+            // Safety holds in every cell, whatever the strategy.
+            assert!(
+                safe,
+                "{deal}/{engine}/{network}/{adversary} violated safety"
+            );
+            if adversary == "all compliant" {
+                // The CBC does not rely on synchrony: it commits everywhere.
+                if engine == "CBC" {
+                    assert!(committed, "CBC should commit on {network}");
+                }
+                // Under full synchrony every engine commits.
+                if network == "synchronous" {
+                    assert!(committed, "{engine} should commit under synchrony");
+                }
             }
-            // Under full synchrony every engine commits.
-            if network == "synchronous" {
-                assert!(committed, "{engine} should commit under synchrony");
+            // The sore-loser, by construction, never lets the deal commit.
+            if adversary.starts_with("sore-loser") {
+                assert!(!committed, "{deal}/{engine}/{network}/{adversary}");
             }
         }
-        assert!(rows.iter().any(|(_, e, _, _, _)| e == "HTLC swap"));
+        assert!(rows.iter().any(|(_, e, _, _, _, _)| e == "HTLC swap"));
+        // The adversary axis enumerates strategy names.
+        assert!(rows
+            .iter()
+            .any(|(_, _, _, a, _, _)| a == "sore-loser@party-0"));
+        assert!(rows
+            .iter()
+            .any(|(_, _, _, a, _, _)| a == "coalition(party-0+party-1)"));
+        assert!(rows
+            .iter()
+            .any(|(_, _, _, a, _, _)| a == "rational-defector(token=1000)@party-1"));
+        // A generously-valued rational defector finds the two-party exchange
+        // worth committing to under synchrony.
+        assert!(rows.iter().any(|(d, _, n, a, c, _)| {
+            d == "two-party exchange"
+                && n == "synchronous"
+                && a == "rational-defector(token=1000)@party-1"
+                && *c
+        }));
     }
 
     #[test]

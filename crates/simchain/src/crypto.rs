@@ -164,7 +164,14 @@ impl KeyPair {
 
     /// Signs a message expressed as 64-bit words.
     pub fn sign_words(&self, words: &[u64]) -> Signature {
-        let digest = hash_words(words);
+        self.sign_digest(hash_words(words))
+    }
+
+    /// Signs a pre-computed digest. This is the streaming counterpart of
+    /// [`KeyPair::sign_words`]: callers that already fed the message through a
+    /// [`FnvHasher`] (certificate issuance over log records) sign the digest
+    /// directly instead of materializing a words `Vec` per signature.
+    pub fn sign_digest(&self, digest: Hash) -> Signature {
         let tag = splitmix64(self.secret ^ digest.0);
         Signature {
             signer: self.public,

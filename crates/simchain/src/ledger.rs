@@ -313,6 +313,28 @@ pub struct LogEntry {
     pub data: Vec<u64>,
 }
 
+/// A per-observer position in a chain's log: the index of the first entry the
+/// observer has *not* seen yet. Parties that monitor a chain keep one cursor
+/// per chain and call [`Blockchain::log_from`], which returns only the new
+/// entries and advances the cursor — O(new entries) instead of re-scanning
+/// the whole log with [`Blockchain::log_since`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogCursor {
+    next: usize,
+}
+
+impl LogCursor {
+    /// A cursor positioned at the start of the log (sees everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The index of the next unseen entry.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+}
+
 /// A single simulated blockchain.
 pub struct Blockchain {
     id: ChainId,
@@ -434,6 +456,15 @@ impl Blockchain {
     /// Log entries appended at or after `since` (chain time).
     pub fn log_since(&self, since: Time) -> impl Iterator<Item = &LogEntry> {
         self.log.iter().filter(move |e| e.time >= since)
+    }
+
+    /// Log entries the cursor has not seen yet, advancing the cursor past
+    /// them. Repeated monitoring of a chain is O(new entries) instead of the
+    /// O(whole log) re-scan of [`Blockchain::log_since`].
+    pub fn log_from(&self, cursor: &mut LogCursor) -> &[LogEntry] {
+        let start = cursor.next.min(self.log.len());
+        cursor.next = self.log.len();
+        &self.log[start..]
     }
 
     /// Submits a transaction that calls contract `id`, dispatching on the
@@ -674,6 +705,36 @@ mod tests {
         // contract survives the failed dispatch
         assert_eq!(c.contract_count(), 1);
         assert_eq!(c.view(id, |ctr: &Counter| ctr.value).unwrap(), 0);
+    }
+
+    #[test]
+    fn log_from_returns_only_new_entries_and_advances_the_cursor() {
+        let mut c = chain();
+        let id = c.install(Counter::default());
+        let caller = Owner::Party(PartyId(0));
+        let mut cursor = LogCursor::new();
+        assert!(c.log_from(&mut cursor).is_empty());
+        for t in [5u64, 15] {
+            c.call(Time(t), caller, id, |ctr: &mut Counter, ctx| {
+                ctr.bump(ctx, 1)
+            })
+            .unwrap();
+        }
+        let fresh = c.log_from(&mut cursor);
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(cursor.position(), 2);
+        // Nothing new: the cursor does not re-deliver.
+        assert!(c.log_from(&mut cursor).is_empty());
+        c.call(Time(25), caller, id, |ctr: &mut Counter, ctx| {
+            ctr.bump(ctx, 1)
+        })
+        .unwrap();
+        let fresh = c.log_from(&mut cursor);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].seq, 3); // seq numbers are 1-based
+                                     // A second, independent cursor still sees everything.
+        let mut other = LogCursor::new();
+        assert_eq!(c.log_from(&mut other).len(), 3);
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //!
 //! The engine maps a two-party [`DealSpec`] onto a [`SwapSpec`] (leader =
 //! first party, follower = second), drives the classic asymmetric-timeout
-//! HTLC exchange with per-phase metrics, honours [`PartyConfig`] deviations
-//! (a party that refuses to escrow never funds; one that withholds its
-//! "vote" never claims), and reports the result in the same
-//! [`DealOutcome`] vocabulary as the commit protocols.
+//! HTLC exchange with per-phase metrics, and honours each [`PartyConfig`]'s
+//! [`xchain_deals::strategy::Strategy`]: funding asks `on_escrow`, claiming
+//! asks `on_claim`, and every answer sees the party's cursor-fed
+//! [`xchain_deals::strategy::ObservationCtx`] (a strategy that refuses to
+//! escrow never funds; one that withholds never claims). Results are
+//! reported in the same [`DealOutcome`] vocabulary as the commit protocols.
 
 use std::collections::BTreeMap;
 
@@ -19,6 +21,7 @@ use xchain_deals::party::{config_of, PartyConfig};
 use xchain_deals::phases::{Phase, PhaseMetrics};
 use xchain_deals::setup::{self, advance_one_observation};
 use xchain_deals::spec::DealSpec;
+use xchain_deals::strategy::DealObserver;
 use xchain_sim::asset::AssetBag;
 use xchain_sim::ids::{ChainId, ContractId, Owner, PartyId};
 use xchain_sim::time::Duration;
@@ -127,6 +130,11 @@ impl DealEngine for SwapEngine {
         let initial_holdings = holdings_by_party(world, spec);
         let leader_cfg = config_of(configs, swap.leader);
         let follower_cfg = config_of(configs, swap.follower);
+        // Each party monitors both chains through its own log cursors; the
+        // swap has no validation phase (the hashlock validates), so every
+        // observation context carries `validated: None`.
+        let mut leader_obs = DealObserver::new(spec);
+        let mut follower_obs = DealObserver::new(spec);
 
         // --------------------------------------------------------------
         // Clearing: install the two HTLCs under one hashlock, with the
@@ -176,7 +184,11 @@ impl DealEngine for SwapEngine {
         let escrow_started = world.now();
         let gas_before = world.total_gas();
         let mut leader_funded = false;
-        if leader_cfg.will_escrow() {
+        let leader_escrows = {
+            let ctx = leader_obs.ctx(world, spec, swap.leader, Phase::Escrow, None);
+            leader_cfg.strategy.is_online(ctx.now) && leader_cfg.strategy.on_escrow(&ctx)
+        };
+        if leader_escrows {
             leader_funded = world
                 .call(
                     swap.leader_chain,
@@ -188,7 +200,11 @@ impl DealEngine for SwapEngine {
         }
         advance_one_observation(world);
         let mut follower_funded = false;
-        if leader_funded && follower_cfg.will_escrow() {
+        let follower_escrows = leader_funded && {
+            let ctx = follower_obs.ctx(world, spec, swap.follower, Phase::Escrow, None);
+            follower_cfg.strategy.is_online(ctx.now) && follower_cfg.strategy.on_escrow(&ctx)
+        };
+        if follower_escrows {
             follower_funded = world
                 .call(
                     swap.follower_chain,
@@ -214,7 +230,11 @@ impl DealEngine for SwapEngine {
         let commit_started = world.now();
         let gas_before = world.total_gas();
         let mut leader_claimed = false;
-        if leader_funded && follower_funded && leader_cfg.will_vote_commit() {
+        let leader_claims = leader_funded && follower_funded && {
+            let ctx = leader_obs.ctx(world, spec, swap.leader, Phase::Commit, None);
+            leader_cfg.strategy.is_online(ctx.now) && leader_cfg.strategy.on_claim(&ctx)
+        };
+        if leader_claims {
             leader_claimed = world
                 .call(
                     swap.follower_chain,
@@ -226,7 +246,11 @@ impl DealEngine for SwapEngine {
         }
         advance_one_observation(world);
         let mut follower_claimed = false;
-        if leader_claimed && follower_cfg.will_vote_commit() {
+        let follower_claims = leader_claimed && {
+            let ctx = follower_obs.ctx(world, spec, swap.follower, Phase::Commit, None);
+            follower_cfg.strategy.is_online(ctx.now) && follower_cfg.strategy.on_claim(&ctx)
+        };
+        if follower_claims {
             follower_claimed = world
                 .call(
                     swap.leader_chain,

@@ -1,50 +1,107 @@
-//! Adversarial commerce in action: the same broker deal executed against a
-//! range of deviating counterparties, showing that compliant parties are never
-//! left worse off (Property 1) and never have assets locked up forever
-//! (Property 2), under both commit protocols — each scenario is one `Deal`
-//! session run through two engines.
+//! Adversarial commerce with the open adversary API: the same broker deal is
+//! executed against built-in strategies (the classic deviations plus the
+//! sore-loser, coalition and rational-defector attacks) *and* against a
+//! custom strategy defined right here in user code — no core edits required.
+//! Compliant parties are never left worse off (Property 1) and never have
+//! assets locked up forever (Property 2), under both commit protocols.
 //!
 //! Run with: `cargo run -p xchain-harness --example adversarial`
 
-use xchain_deals::builders::broker_spec;
-use xchain_deals::party::{Deviation, PartyConfig};
-use xchain_deals::phases::Phase;
+use std::sync::Arc;
+
+use xchain_deals::party::PartyConfig;
 use xchain_deals::properties::{check_safety, check_weak_liveness};
+use xchain_deals::strategy::{strategies, ObservationCtx, Strategy, Vote};
 use xchain_deals::{Deal, Protocol};
+use xchain_harness::workload::broker_spec;
 use xchain_sim::ids::PartyId;
 use xchain_sim::network::NetworkModel;
 
+/// A user-defined adversary: votes commit only after it has *observed* every
+/// other party's commit vote land on-chain — it free-rides on everyone
+/// else's willingness to be first. The decision is adaptive through the
+/// cursor-fed view: the timelock engine polls parties in `plist` order at
+/// the start of the commit phase, so by the time a *later* party is asked,
+/// the earlier parties' votes are already on-chain and visible. Carol is
+/// last in the broker deal, so her timelock run commits; under the CBC,
+/// where all votes are cast simultaneously on the shared log (never
+/// observable first), she withholds forever and the deal aborts.
+///
+/// Nothing here touches the core crates: implementing [`Strategy`] is the
+/// whole extension surface.
+struct VoteLast;
+
+impl Strategy for VoteLast {
+    fn name(&self) -> String {
+        "vote-last".into()
+    }
+
+    fn on_vote(&self, ctx: &ObservationCtx<'_>) -> Vote {
+        let everyone_else_voted = ctx
+            .spec
+            .parties
+            .iter()
+            .filter(|&&p| p != ctx.party)
+            .all(|&p| ctx.view.has_voted(p));
+        if everyone_else_voted && ctx.validated.unwrap_or(true) {
+            Vote::Commit
+        } else {
+            Vote::Withhold
+        }
+    }
+
+    // It still forwards what it observes: withholding its own vote is the
+    // only liberty it takes.
+    fn on_forward(&self, ctx: &ObservationCtx<'_>) -> bool {
+        ctx.validated.unwrap_or(true)
+    }
+}
+
 fn main() {
+    let spec = broker_spec();
+    let alice = PartyId(0);
     let bob = PartyId(1);
     let carol = PartyId(2);
+    let coalition = strategies::coalition([alice, bob]);
     let scenarios: Vec<(&str, Vec<PartyConfig>)> = vec![
         ("everyone compliant", vec![]),
         (
             "Bob never escrows his tickets",
-            vec![PartyConfig::deviating(bob, Deviation::RefuseEscrow)],
+            vec![PartyConfig::with_strategy(bob, strategies::refuse_escrow())],
         ),
         (
             "Carol withholds her commit vote",
-            vec![PartyConfig::deviating(carol, Deviation::WithholdVote)],
-        ),
-        (
-            "Bob crashes right after the transfer phase",
-            vec![PartyConfig::deviating(
-                bob,
-                Deviation::CrashAfter(Phase::Transfer),
+            vec![PartyConfig::with_strategy(
+                carol,
+                strategies::withhold_vote(),
             )],
         ),
         (
-            "Bob and Carol both walk away before voting",
+            "Bob plays the sore loser (escrows, then walks once everyone is locked in)",
+            vec![PartyConfig::with_strategy(bob, strategies::sore_loser())],
+        ),
+        (
+            "Alice and Bob collude as one coalition",
             vec![
-                PartyConfig::deviating(bob, Deviation::WithholdVote),
-                PartyConfig::deviating(carol, Deviation::WithholdVote),
+                PartyConfig::with_strategy(alice, coalition.clone()),
+                PartyConfig::with_strategy(bob, coalition),
             ],
+        ),
+        (
+            "Carol is a rational defector who finds tickets nearly worthless",
+            vec![PartyConfig::with_strategy(
+                carol,
+                strategies::rational_defector(1),
+            )],
+        ),
+        (
+            "Carol runs the custom vote-last strategy defined in this example",
+            vec![PartyConfig::with_strategy(carol, Arc::new(VoteLast))],
         ),
     ];
 
     for (label, configs) in scenarios {
-        let deal = Deal::new(broker_spec())
+        let deal = Deal::new(spec.clone())
             .network(NetworkModel::synchronous(100))
             .parties(&configs)
             .seed(11);

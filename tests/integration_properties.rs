@@ -64,10 +64,7 @@ fn draw_case(case: u64, max_parties: u32, with_deviations: bool) -> Case {
         let n_configs = rng.gen_range(0..6usize);
         for i in 0..n_configs.min(parties as usize) {
             let d = pool[rng.gen_range(0..pool.len())];
-            configs.push(PartyConfig {
-                id: PartyId(i as u32),
-                deviation: d,
-            });
+            configs.push(PartyConfig::deviating(PartyId(i as u32), d));
         }
     }
     Case {

@@ -1,0 +1,97 @@
+//! Strategy/enum parity: every legacy `Deviation` and its built-in strategy
+//! replacement must produce *identical* `SweepOutcome`s — same labels, seeds,
+//! resolutions, holdings and per-phase metrics — at `threads(1)` and
+//! `threads(4)`. This pins the open adversary API to the behaviour the old
+//! closed enum had, so the migration (`Deviation::X` → `strategies::x()`)
+//! is purely mechanical.
+
+use xchain_deals::party::PartyConfig;
+use xchain_deals::spec::DealSpec;
+use xchain_deals::strategy::strategies;
+use xchain_harness::adversary::all_deviations;
+use xchain_harness::sweep::{standard_engines, Sweep, SweepOutcome};
+use xchain_harness::workload::{broker_spec, ring_spec};
+use xchain_sim::ids::DealId;
+
+const DELTA: u64 = 100;
+
+/// Single-deviator scenarios built through the legacy enum entry point.
+fn legacy_scenarios(spec: &DealSpec) -> Vec<(String, Vec<PartyConfig>)> {
+    let mut scenarios = vec![("all compliant".to_string(), Vec::new())];
+    for &p in &spec.parties {
+        for (i, d) in all_deviations(DELTA).into_iter().enumerate() {
+            scenarios.push((format!("adv#{i}@{p}"), vec![PartyConfig::deviating(p, d)]));
+        }
+    }
+    scenarios
+}
+
+/// The same scenarios built through the strategy catalog (`strategies::*`).
+fn strategy_scenarios(spec: &DealSpec) -> Vec<(String, Vec<PartyConfig>)> {
+    let mut scenarios = vec![("all compliant".to_string(), Vec::new())];
+    for &p in &spec.parties {
+        for (i, d) in all_deviations(DELTA).into_iter().enumerate() {
+            scenarios.push((
+                format!("adv#{i}@{p}"),
+                vec![PartyConfig::with_strategy(p, strategies::from_deviation(d))],
+            ));
+        }
+    }
+    scenarios
+}
+
+fn run_sweep(
+    gen: impl Fn(&DealSpec) -> Vec<(String, Vec<PartyConfig>)> + Send + Sync + 'static,
+    threads: usize,
+) -> SweepOutcome {
+    Sweep::new()
+        .spec("broker", broker_spec())
+        .spec("ring n=2", ring_spec(DealId(41), 2))
+        .over_protocols(standard_engines(DELTA))
+        .over_adversaries(gen)
+        .seed(2024)
+        .threads(threads)
+        .run()
+        .unwrap()
+}
+
+/// Two sweep outcomes must agree cell by cell, down to the Debug rendering of
+/// the full `DealOutcome` (holdings, resolutions, per-phase gas and
+/// durations).
+fn assert_identical(a: &SweepOutcome, b: &SweepOutcome) {
+    assert_eq!(a.skipped, b.skipped);
+    assert_eq!(a.points.len(), b.points.len());
+    for (x, y) in a.points.iter().zip(&b.points) {
+        let label = format!(
+            "{} / {} / {} / {}",
+            x.spec, x.engine, x.network, x.adversary
+        );
+        assert_eq!(x.spec, y.spec);
+        assert_eq!(x.engine, y.engine);
+        assert_eq!(x.network, y.network);
+        assert_eq!(x.adversary, y.adversary, "{label}");
+        assert_eq!(x.seed, y.seed, "{label}");
+        assert_eq!(
+            format!("{:?}", x.run.outcome),
+            format!("{:?}", y.run.outcome),
+            "{label}"
+        );
+    }
+}
+
+#[test]
+fn every_legacy_deviation_matches_its_builtin_strategy() {
+    let legacy = run_sweep(legacy_scenarios, 1);
+    let strategy = run_sweep(strategy_scenarios, 1);
+    assert!(legacy.points.len() > 2 * (1 + 3 * all_deviations(DELTA).len()));
+    assert_identical(&legacy, &strategy);
+}
+
+#[test]
+fn parity_holds_at_every_thread_count() {
+    let legacy_serial = run_sweep(legacy_scenarios, 1);
+    let legacy_parallel = run_sweep(legacy_scenarios, 4);
+    let strategy_parallel = run_sweep(strategy_scenarios, 4);
+    assert_identical(&legacy_serial, &legacy_parallel);
+    assert_identical(&legacy_parallel, &strategy_parallel);
+}

@@ -120,11 +120,11 @@ fn protocol_matrix_is_safe_in_every_cell() {
     let (rows, table) = protocol_matrix_experiment();
     assert!(!table.render().is_empty());
     // Three engines on the two-party deal, two on the broker deal, over two
-    // network models each.
-    assert_eq!(rows.len(), 10);
-    for (deal, engine, network, committed, safe) in &rows {
-        assert!(safe, "{deal}/{engine}/{network}");
-        if network == "synchronous" {
+    // network models and five named strategy scenarios each.
+    assert_eq!(rows.len(), 50);
+    for (deal, engine, network, adversary, committed, safe) in &rows {
+        assert!(safe, "{deal}/{engine}/{network}/{adversary}");
+        if network == "synchronous" && adversary == "all compliant" {
             assert!(committed, "{deal}/{engine} under synchrony");
         }
     }

@@ -1,0 +1,76 @@
+//! Benchmark of the deal observation machinery: the shared, label-filtered
+//! [`ObservationHub`] against the per-party cursor [`DealObserver`]s it
+//! replaced on the engine hot path, over the log of a real 9-party deal.
+//!
+//! `observer_views` re-reads (and re-string-matches) every log entry once
+//! per party; `hub_views` reads each entry once, parses it once, and fans it
+//! out — the "second half" of batched log monitoring. `timelock_decisions`
+//! measures the full per-decision pattern the engines use (refresh + fold +
+//! context assembly for every party across several simulated phases).
+//!
+//! Run with: `cargo bench -p xchain-bench --bench observation`
+
+use xchain_bench::Suite;
+use xchain_deals::builders::ring_spec;
+use xchain_deals::phases::Phase;
+use xchain_deals::plan::DealPlan;
+use xchain_deals::strategy::{DealObserver, ObservationHub};
+use xchain_deals::{Deal, Protocol};
+use xchain_sim::ids::DealId;
+use xchain_sim::network::NetworkModel;
+
+fn main() {
+    println!("observation");
+    let mut suite = Suite::from_args("observation");
+    let n = 9u32;
+    let spec = ring_spec(DealId(n as u64), n);
+    let plan = DealPlan::new(&spec).expect("ring spec plans");
+    // A fully-played deal: its world's logs carry every escrow, transfer,
+    // vote and resolution entry a party would have monitored.
+    let run = Deal::new(spec.clone())
+        .network(NetworkModel::synchronous(100))
+        .seed(3)
+        .run(Protocol::timelock())
+        .expect("ring deal runs");
+    assert!(run.outcome.committed_everywhere());
+    let world = &run.world;
+
+    suite.bench(&format!("observation/observer_views/{n}"), 200, || {
+        // PR 3 shape: every party re-reads the whole log with its own
+        // cursors and re-matches every label string.
+        let mut total = 0usize;
+        for _ in &spec.parties {
+            let mut obs = DealObserver::new(&spec);
+            obs.observe(world);
+            total += obs.view().escrows.len();
+        }
+        total
+    });
+
+    suite.bench(&format!("observation/hub_views/{n}"), 200, || {
+        // One shared ingest pass; per-party views fold pre-parsed events.
+        let mut hub = ObservationHub::new(&plan);
+        hub.refresh(world);
+        let mut total = 0usize;
+        for &p in &spec.parties {
+            total += hub.view_of(p).escrows.len();
+        }
+        total
+    });
+
+    suite.bench(&format!("observation/timelock_decisions/{n}"), 200, || {
+        // The engine's actual decision pattern: one context per party per
+        // phase, against an already-caught-up hub (O(chains) refresh checks).
+        let mut hub = ObservationHub::new(&plan);
+        let mut votes = 0usize;
+        for phase in [Phase::Escrow, Phase::Transfer, Phase::Commit] {
+            for &p in &spec.parties {
+                let ctx = hub.ctx(world, &spec, p, phase, Some(true));
+                votes += usize::from(ctx.view.has_voted(p));
+            }
+        }
+        votes
+    });
+
+    suite.finish();
+}

@@ -1,0 +1,78 @@
+//! Many-deal workload benchmark: the same specification executed across many
+//! seeds, the shape of a market that clears deal after deal. Compares the
+//! pre-resolved-plan path (`Deal::plan` once + `run_planned` per deal — what
+//! the sweeps do) against re-resolving the plan per deal (`Deal::run`), for
+//! both commit protocols.
+//!
+//! Run with: `cargo bench -p xchain-bench --bench workload`
+
+use xchain_bench::Suite;
+use xchain_deals::builders::{broker_spec, ring_spec};
+use xchain_deals::{Deal, Protocol};
+use xchain_sim::ids::DealId;
+use xchain_sim::network::NetworkModel;
+
+const DEALS: u64 = 100;
+
+fn main() {
+    println!("workload");
+    let mut suite = Suite::from_args("workload");
+    for (label, spec) in [
+        ("broker", broker_spec()),
+        ("ring5", ring_spec(DealId(5), 5)),
+    ] {
+        let session = Deal::new(spec).network(NetworkModel::synchronous(100));
+        let plan = session.plan().expect("spec plans");
+
+        suite.bench(
+            &format!("workload/deals{DEALS}/{label}/timelock_shared_plan"),
+            5,
+            || {
+                let mut committed = 0u64;
+                let mut deal = session.clone();
+                for seed in 0..DEALS {
+                    deal = deal.seed(seed);
+                    let run = deal.run_planned(&plan, Protocol::timelock()).unwrap();
+                    committed += u64::from(run.outcome.committed_everywhere());
+                }
+                assert_eq!(committed, DEALS);
+                committed
+            },
+        );
+
+        suite.bench(
+            &format!("workload/deals{DEALS}/{label}/timelock_fresh_plan"),
+            5,
+            || {
+                // A brand-new session per deal: the spec is cloned and the
+                // plan re-resolved every time — the pre-plan cost model.
+                let mut committed = 0u64;
+                for seed in 0..DEALS {
+                    let deal = Deal::new(session.spec().clone())
+                        .network(NetworkModel::synchronous(100))
+                        .seed(seed);
+                    let run = deal.run(Protocol::timelock()).unwrap();
+                    committed += u64::from(run.outcome.committed_everywhere());
+                }
+                committed
+            },
+        );
+
+        suite.bench(
+            &format!("workload/deals{DEALS}/{label}/cbc_shared_plan"),
+            5,
+            || {
+                let mut committed = 0u64;
+                let mut deal = session.clone();
+                for seed in 0..DEALS {
+                    deal = deal.seed(seed);
+                    let run = deal.run_planned(&plan, Protocol::cbc()).unwrap();
+                    committed += u64::from(run.outcome.committed_everywhere());
+                }
+                assert_eq!(committed, DEALS);
+                committed
+            },
+        );
+    }
+    suite.finish();
+}

@@ -12,7 +12,10 @@
 //! trajectory can be tracked across PRs (see `BENCH_baseline.json`), and
 //! passing `--diff BENCH_baseline.json` prints a regression table comparing
 //! the fresh run against the committed baseline (report-only: the
-//! `bench-baseline` CI job never fails on timing).
+//! `bench-baseline` CI job never fails on timing). Adding
+//! `--fail-above <pct>` opts into gating: the process exits non-zero if any
+//! baseline benchmark regressed by more than `pct` percent — for local perf
+//! work and dedicated hardware, not the shared CI runners.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -78,6 +81,7 @@ pub struct Suite {
     name: String,
     json: bool,
     diff_against: Option<PathBuf>,
+    fail_above: Option<f64>,
     results: Vec<BenchResult>,
 }
 
@@ -86,12 +90,20 @@ impl Suite {
     /// `--json` enables writing `BENCH_<name>.json` on [`Suite::finish`];
     /// `--diff <baseline.json>` (or `--diff=<baseline.json>`) compares the
     /// fresh run against a committed baseline and prints a regression table
-    /// (report-only — timing never fails the run). Relative baseline paths
-    /// are resolved against the repository root.
+    /// (report-only by default — timing never fails the run). Relative
+    /// baseline paths are resolved against the repository root.
+    ///
+    /// `--fail-above <pct>` (or `--fail-above=<pct>`) opts into gating: if
+    /// any benchmark present in the `--diff` baseline regressed by more than
+    /// `pct` percent, [`Suite::finish`] exits with a non-zero status after
+    /// printing the table. The `bench-baseline` CI job deliberately does
+    /// *not* pass it (timing on shared runners is noisy); it exists for
+    /// local perf work and dedicated hardware.
     pub fn from_args(name: &str) -> Self {
         let args: Vec<String> = std::env::args().collect();
         let json = args.iter().any(|a| a == "--json");
         let mut diff_against = None;
+        let mut fail_above = None;
         for (i, a) in args.iter().enumerate() {
             if let Some(path) = a.strip_prefix("--diff=") {
                 diff_against = Some(resolve_baseline(path));
@@ -99,12 +111,19 @@ impl Suite {
                 if let Some(path) = args.get(i + 1) {
                     diff_against = Some(resolve_baseline(path));
                 }
+            } else if let Some(pct) = a.strip_prefix("--fail-above=") {
+                fail_above = Some(parse_threshold(pct));
+            } else if a == "--fail-above" {
+                if let Some(pct) = args.get(i + 1) {
+                    fail_above = Some(parse_threshold(pct));
+                }
             }
         }
         Suite {
             name: name.to_string(),
             json,
             diff_against,
+            fail_above,
             results: Vec::new(),
         }
     }
@@ -131,18 +150,73 @@ impl Suite {
                 .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
             println!("wrote {}", path.display());
         }
-        if let Some(baseline_path) = &self.diff_against {
-            match std::fs::read_to_string(baseline_path) {
-                Ok(json) => {
-                    let baseline = parse_results(&json);
-                    print!("{}", render_diff(&self.results, &baseline));
+        let Some(baseline_path) = &self.diff_against else {
+            if self.fail_above.is_some() {
+                // Gating without a baseline to gate against is an operator
+                // error, not a pass.
+                eprintln!("--fail-above requires --diff <baseline.json>");
+                std::process::exit(2);
+            }
+            return;
+        };
+        match std::fs::read_to_string(baseline_path) {
+            Ok(json) => {
+                let baseline = parse_results(&json);
+                print!("{}", render_diff(&self.results, &baseline));
+                if let Some(threshold) = self.fail_above {
+                    if let Some((name, delta)) = worst_regression(&self.results, &baseline) {
+                        if delta > threshold {
+                            println!(
+                                "FAIL: {name} regressed {delta:+.1}% \
+                                 (--fail-above {threshold}%)"
+                            );
+                            std::process::exit(1);
+                        }
+                    }
+                    println!("ok: no regression above {threshold}% vs the baseline");
                 }
-                // Report-only: a missing or unreadable baseline is a note,
-                // never a failure.
-                Err(e) => println!("no baseline at {}: {e}", baseline_path.display()),
+            }
+            // Without gating, a missing or unreadable baseline is a note,
+            // never a failure; with --fail-above in force it must abort —
+            // exiting 0 here would skip the gate the operator asked for.
+            Err(e) => {
+                println!("no baseline at {}: {e}", baseline_path.display());
+                if self.fail_above.is_some() {
+                    eprintln!("--fail-above: cannot gate without a readable baseline");
+                    std::process::exit(2);
+                }
             }
         }
     }
+}
+
+/// The largest relative slowdown among benchmarks present in both runs, as
+/// `(name, +pct)`. `None` if nothing overlaps. Used by `--fail-above`.
+pub fn worst_regression(
+    current: &[BenchResult],
+    baseline: &[BenchResult],
+) -> Option<(String, f64)> {
+    current
+        .iter()
+        .filter_map(|r| {
+            let base = baseline.iter().find(|b| b.name == r.name)?;
+            if base.ns_per_iter <= 0.0 {
+                return None;
+            }
+            let delta = (r.ns_per_iter - base.ns_per_iter) / base.ns_per_iter * 100.0;
+            Some((r.name.clone(), delta))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// Parses a `--fail-above` operand. A malformed threshold aborts the run
+/// loudly: silently ignoring it would disable gating the operator explicitly
+/// asked for.
+fn parse_threshold(pct: &str) -> f64 {
+    pct.parse().unwrap_or_else(|_| {
+        eprintln!("--fail-above expects a percentage (e.g. 10), got '{pct}'");
+        std::process::exit(2);
+    })
 }
 
 /// Resolves a `--diff` operand: absolute paths are used as given, relative
@@ -323,11 +397,37 @@ mod tests {
     }
 
     #[test]
+    fn worst_regression_finds_the_biggest_slowdown() {
+        let mk = |name: &str, ns: f64| BenchResult {
+            name: name.into(),
+            ns_per_iter: ns,
+            median_ns: ns,
+            iters: 1,
+        };
+        let baseline = vec![mk("a", 100.0), mk("b", 100.0), mk("c", 100.0)];
+        let current = vec![
+            mk("a", 107.0),
+            mk("b", 130.0),
+            mk("c", 60.0),
+            mk("new", 5.0),
+        ];
+        let (name, delta) = worst_regression(&current, &baseline).unwrap();
+        assert_eq!(name, "b");
+        assert!((delta - 30.0).abs() < 1e-9);
+        // Nothing in common → no verdict.
+        assert!(worst_regression(&[mk("x", 1.0)], &baseline).is_none());
+        // All faster → the "worst" is still the max delta (negative).
+        let (_, delta) = worst_regression(&[mk("c", 60.0)], &baseline).unwrap();
+        assert!(delta < 0.0);
+    }
+
+    #[test]
     fn suite_collects_results() {
         let mut suite = Suite {
             name: "test".into(),
             json: false,
             diff_against: None,
+            fail_above: None,
             results: Vec::new(),
         };
         suite.bench("one", 3, || 1);

@@ -17,6 +17,7 @@ use xchain_sim::contract::{CallCtx, Contract};
 use xchain_sim::crypto::Hash;
 use xchain_sim::error::ChainResult;
 use xchain_sim::ids::{DealId, PartyId};
+use xchain_sim::intern::InternedAsset;
 
 use crate::escrow::{EscrowCore, EscrowResolution};
 
@@ -73,6 +74,15 @@ impl CbcManager {
         self.core.escrow(ctx, asset)
     }
 
+    /// Escrow phase with a pre-interned asset (plan-based engines).
+    pub fn escrow_interned(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        asset: InternedAsset,
+    ) -> ChainResult<()> {
+        self.core.escrow_interned(ctx, asset)
+    }
+
     /// Transfer phase: `transfer(D, a, a', Q)`.
     pub fn transfer(
         &mut self,
@@ -81,6 +91,16 @@ impl CbcManager {
         to: PartyId,
     ) -> ChainResult<()> {
         self.core.transfer(ctx, asset, to)
+    }
+
+    /// Transfer phase with a pre-interned asset (plan-based engines).
+    pub fn transfer_interned(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        asset: &InternedAsset,
+        to: PartyId,
+    ) -> ChainResult<()> {
+        self.core.transfer_interned(ctx, asset, to)
     }
 
     /// Verifies a status certificate following Figure 6: unique signers, all

@@ -107,14 +107,23 @@ impl EscrowCore {
     }
 
     /// All deposits made so far (the A map), resolved to named assets.
+    /// Materializes one `EscrowDeposit` (and its resolved kind name) per
+    /// entry — a reporting convenience; hot paths use
+    /// [`EscrowCore::deposits_iter`] instead.
     pub fn deposits(&self) -> Vec<EscrowDeposit> {
-        self.deposits
-            .iter()
+        self.deposits_iter()
             .map(|(owner, asset)| EscrowDeposit {
-                original_owner: *owner,
+                original_owner: owner,
                 asset: asset.resolve(&self.kinds),
             })
             .collect()
+    }
+
+    /// Borrowing iterator over the A map: `(original owner, interned
+    /// deposit)` pairs in deposit order, with no resolution and no
+    /// allocation. This is the engine-facing view of the deposits.
+    pub fn deposits_iter(&self) -> impl Iterator<Item = (PartyId, &InternedAsset)> {
+        self.deposits.iter().map(|(owner, asset)| (*owner, asset))
     }
 
     /// What `party` would receive if the deal committed now (the C map),
@@ -126,10 +135,20 @@ impl EscrowCore {
             .unwrap_or_default()
     }
 
+    /// True if `party`'s C-map entry covers at least `expected` — the
+    /// validation fast path: compares interned bags directly, so per-party
+    /// validation never resolves a kind name or allocates a bag.
+    pub fn on_commit_covers(&self, party: PartyId, expected: &InternedBag) -> bool {
+        match self.on_commit.get(&party) {
+            Some(bag) => bag.covers(expected),
+            None => expected.is_empty(),
+        }
+    }
+
     /// Everything currently held in escrow, summed across deposits.
     pub fn total_escrowed(&self) -> AssetBag {
         let mut bag = AssetBag::new();
-        for (_, asset) in &self.deposits {
+        for (_, asset) in self.deposits_iter() {
             bag.add(&asset.resolve(&self.kinds));
         }
         bag
@@ -142,24 +161,35 @@ impl EscrowCore {
     /// Gas: 2 storage writes for the deposit transfer plus 1 each for the A
     /// and C map updates — the 4 writes of Figure 3's `escrow`.
     pub fn escrow(&mut self, ctx: &mut CallCtx<'_>, asset: Asset) -> ChainResult<()> {
+        // Resolve the kind to a Copy id once; everything after is id-keyed.
+        let asset = ctx.intern_asset(&asset);
+        self.escrow_interned(ctx, asset)
+    }
+
+    /// [`EscrowCore::escrow`] for a pre-interned asset: the plan-based
+    /// engines resolve every escrow's kind once per deal (against the table
+    /// the world was built from), so even escrow *entry* touches no
+    /// `String`. Same checks, gas, and log entry as the named path.
+    pub fn escrow_interned(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        asset: InternedAsset,
+    ) -> ChainResult<()> {
         let caller = ctx.caller_party()?;
         ctx.require(self.is_active(), "deal already resolved")?;
         ctx.require(self.is_participant(caller), "caller not in plist")?;
         ctx.require(!asset.is_empty(), "cannot escrow an empty asset")?;
-        // Resolve the kind to a Copy id once; everything after is id-keyed.
-        let asset = ctx.intern_asset(&asset);
         // Pre: Owns(P, a): the deposit fails if the caller does not own it.
         ctx.deposit_interned_from_caller(&asset)?;
-        // A map entry (1 write)
+        let magnitude = asset.magnitude();
+        // A map entry (1 write) + C map entry (1 write). Both maps are
+        // recorded before the emit below can fail (out of gas), so an abort
+        // can always refund exactly what was deposited.
         ctx.charge_storage_write()?;
-        self.deposits.push((caller, asset.clone()));
-        // C map entry (1 write)
         ctx.charge_storage_write()?;
         self.on_commit.entry(caller).or_default().add(&asset);
-        ctx.emit(
-            "escrow",
-            vec![self.deal.0, caller.0 as u64, asset.magnitude()],
-        )?;
+        self.deposits.push((caller, asset));
+        ctx.emit("escrow", vec![self.deal.0, caller.0 as u64, magnitude])?;
         Ok(())
     }
 
@@ -174,25 +204,36 @@ impl EscrowCore {
         asset: Asset,
         to: PartyId,
     ) -> ChainResult<()> {
+        let asset = ctx.intern_asset(&asset);
+        self.transfer_interned(ctx, &asset, to)
+    }
+
+    /// [`EscrowCore::transfer`] for a pre-interned asset (same checks, gas,
+    /// and log entry as the named path).
+    pub fn transfer_interned(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        asset: &InternedAsset,
+        to: PartyId,
+    ) -> ChainResult<()> {
         let caller = ctx.caller_party()?;
         ctx.require(self.is_active(), "deal already resolved")?;
         ctx.require(self.is_participant(caller), "caller not in plist")?;
         ctx.require(self.is_participant(to), "recipient not in plist")?;
-        let asset = ctx.intern_asset(&asset);
         let sender_bag = self.on_commit.entry(caller).or_default();
         ctx.require(
-            sender_bag.contains(&asset),
+            sender_bag.contains(asset),
             "caller does not tentatively own the asset",
         )?;
         ctx.charge_storage_write()?;
         let removed = self
             .on_commit
             .get_mut(&caller)
-            .map(|b| b.remove(&asset))
+            .map(|b| b.remove(asset))
             .unwrap_or(false);
         debug_assert!(removed, "contains() checked above");
         ctx.charge_storage_write()?;
-        self.on_commit.entry(to).or_default().add(&asset);
+        self.on_commit.entry(to).or_default().add(asset);
         ctx.emit(
             "tentative-transfer",
             vec![self.deal.0, caller.0 as u64, to.0 as u64, asset.magnitude()],
@@ -234,8 +275,8 @@ impl EscrowCore {
         ctx.require(self.is_active(), "deal already resolved")?;
         ctx.charge_storage_write()?;
         self.resolution = Some(EscrowResolution::Aborted);
-        for (owner, asset) in &self.deposits {
-            ctx.pay_out_interned((*owner).into(), asset)?;
+        for (owner, asset) in self.deposits_iter() {
+            ctx.pay_out_interned(owner.into(), asset)?;
         }
         ctx.emit("escrow-aborted", vec![self.deal.0])?;
         Ok(())
@@ -614,6 +655,103 @@ mod tests {
                 .unwrap(),
             Some(EscrowResolution::Aborted)
         );
+    }
+
+    #[test]
+    fn interned_entry_points_match_the_named_path() {
+        // Same deal driven twice: once through the named API, once through
+        // the pre-interned API. State, gas, and log entries must agree.
+        let run = |interned: bool| {
+            let (mut chain, id, alice, bob, _carol) = setup();
+            let tickets = Asset::non_fungible("ticket", [1, 2]);
+            let pre = chain.kinds().intern_asset(&tickets);
+            chain
+                .call(
+                    Time(0),
+                    Owner::Party(bob),
+                    id,
+                    |m: &mut EscrowManager, ctx| {
+                        if interned {
+                            m.core.escrow_interned(ctx, pre.clone())
+                        } else {
+                            m.escrow(ctx, tickets.clone())
+                        }
+                    },
+                )
+                .unwrap();
+            chain
+                .call(
+                    Time(1),
+                    Owner::Party(bob),
+                    id,
+                    |m: &mut EscrowManager, ctx| {
+                        if interned {
+                            m.core.transfer_interned(ctx, &pre, alice)
+                        } else {
+                            m.transfer(ctx, tickets.clone(), alice)
+                        }
+                    },
+                )
+                .unwrap();
+            let deposits = chain
+                .view(id, |m: &EscrowManager| m.core().deposits())
+                .unwrap();
+            let c_map = chain
+                .view(id, |m: &EscrowManager| m.core().on_commit_of(alice))
+                .unwrap();
+            (chain.gas_usage(), chain.log().to_vec(), deposits, c_map)
+        };
+        let (gas_named, log_named, dep_named, c_named) = run(false);
+        let (gas_interned, log_interned, dep_interned, c_interned) = run(true);
+        assert_eq!(gas_named, gas_interned);
+        assert_eq!(log_named, log_interned);
+        assert_eq!(dep_named, dep_interned);
+        assert_eq!(c_named, c_interned);
+    }
+
+    #[test]
+    fn deposits_iter_borrows_and_on_commit_covers_compares_interned() {
+        let (mut chain, id, alice, _bob, carol) = setup();
+        chain
+            .call(
+                Time(0),
+                Owner::Party(carol),
+                id,
+                |m: &mut EscrowManager, ctx| m.escrow(ctx, Asset::fungible("coin", 101)),
+            )
+            .unwrap();
+        chain
+            .call(
+                Time(0),
+                Owner::Party(carol),
+                id,
+                |m: &mut EscrowManager, ctx| m.transfer(ctx, Asset::fungible("coin", 60), alice),
+            )
+            .unwrap();
+        let kinds = chain.kinds().clone();
+        chain
+            .view(id, |m: &EscrowManager| {
+                // The borrowing iterator yields the interned A map directly.
+                let deposits: Vec<_> = m.core().deposits_iter().collect();
+                assert_eq!(deposits.len(), 1);
+                assert_eq!(deposits[0].0, carol);
+                assert_eq!(deposits[0].1.resolve(&kinds), Asset::fungible("coin", 101));
+                // … and matches the materialized reporting view.
+                let resolved = m.core().deposits();
+                assert_eq!(resolved[0].original_owner, carol);
+                assert_eq!(resolved[0].asset, Asset::fungible("coin", 101));
+
+                // Interned coverage check mirrors the resolved C map.
+                let mut expected = InternedBag::new();
+                expected.add(&kinds.intern_asset(&Asset::fungible("coin", 60)));
+                assert!(m.core().on_commit_covers(alice, &expected));
+                expected.add(&kinds.intern_asset(&Asset::fungible("coin", 1)));
+                assert!(!m.core().on_commit_covers(alice, &expected));
+                // A party with no C-map entry covers only the empty bag.
+                assert!(m.core().on_commit_covers(PartyId(9), &InternedBag::new()));
+                assert!(!m.core().on_commit_covers(PartyId(9), &expected));
+            })
+            .unwrap();
     }
 
     #[test]

@@ -16,6 +16,7 @@ use xchain_sim::contract::{CallCtx, Contract};
 use xchain_sim::crypto::PathSignature;
 use xchain_sim::error::ChainResult;
 use xchain_sim::ids::{DealId, PartyId};
+use xchain_sim::intern::InternedAsset;
 use xchain_sim::time::{Duration, Time};
 
 use crate::escrow::{EscrowCore, EscrowResolution};
@@ -36,9 +37,11 @@ pub struct TimelockDealInfo {
 
 impl TimelockDealInfo {
     /// The canonical vote message for voter `v` in this deal: what every
-    /// signature in a path signature must attest to.
-    pub fn vote_message(&self, voter: PartyId) -> Vec<u64> {
-        vec![0xC0717u64, self.deal.0, voter.0 as u64]
+    /// signature in a path signature must attest to. A fixed-size array —
+    /// it is built on every vote submission, forward, and verification, so
+    /// it must not allocate.
+    pub fn vote_message(&self, voter: PartyId) -> [u64; 3] {
+        [0xC0717u64, self.deal.0, voter.0 as u64]
     }
 
     /// The final timeout `t0 + N · ∆` after which a refund is allowed.
@@ -96,6 +99,15 @@ impl TimelockManager {
         self.core.escrow(ctx, asset)
     }
 
+    /// Escrow phase with a pre-interned asset (plan-based engines).
+    pub fn escrow_interned(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        asset: InternedAsset,
+    ) -> ChainResult<()> {
+        self.core.escrow_interned(ctx, asset)
+    }
+
     /// Transfer phase: `transfer(D, a, a', Q)`.
     pub fn transfer(
         &mut self,
@@ -104,6 +116,16 @@ impl TimelockManager {
         to: PartyId,
     ) -> ChainResult<()> {
         self.core.transfer(ctx, asset, to)
+    }
+
+    /// Transfer phase with a pre-interned asset (plan-based engines).
+    pub fn transfer_interned(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        asset: &InternedAsset,
+        to: PartyId,
+    ) -> ChainResult<()> {
+        self.core.transfer_interned(ctx, asset, to)
     }
 
     /// Commit phase: `commit(D, v, p)` — accept a (possibly forwarded) commit

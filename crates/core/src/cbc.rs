@@ -20,9 +20,9 @@ use crate::error::DealError;
 use crate::outcome::{ChainResolution, DealOutcome, ProtocolKind};
 use crate::party::{config_of, PartyConfig};
 use crate::phases::{Phase, PhaseMetrics};
+use crate::plan::DealPlan;
 use crate::setup::advance_one_observation;
-use crate::spec::DealSpec;
-use crate::strategy::{DealObserver, Vote};
+use crate::strategy::{ObservationHub, Vote};
 use crate::timelock::holdings_by_party;
 use crate::{setup, validation};
 
@@ -79,23 +79,20 @@ pub struct CbcRun {
 /// The CBC protocol driver behind [`crate::Protocol::Cbc`].
 pub(crate) fn drive(
     world: &mut World,
-    spec: &DealSpec,
+    plan: &DealPlan,
     configs: &[PartyConfig],
     opts: &CbcOptions,
 ) -> Result<CbcRun, DealError> {
-    spec.validate()?;
+    let spec = plan.spec();
     setup::check_parties_exist(world, spec)?;
     setup::check_chains_exist(world, spec)?;
     setup::apply_offline_windows(world, configs);
 
     let mut metrics = PhaseMetrics::new();
     let initial_holdings = holdings_by_party(world, spec);
-    // One observer per party, each with its own per-chain log cursors.
-    let mut observers: BTreeMap<PartyId, DealObserver> = spec
-        .parties
-        .iter()
-        .map(|&p| (p, DealObserver::new(spec)))
-        .collect();
+    // One shared observation hub for the whole deal (see the timelock
+    // engine): a single filtered ingest pass per chain, one view per party.
+    let mut hub = ObservationHub::new(plan);
 
     // ------------------------------------------------------------------
     // Clearing phase: create the CBC, publish startDeal, install contracts.
@@ -108,7 +105,7 @@ pub(crate) fn drive(
     }
     // Register validator keys on every involved chain so escrow contracts can
     // verify certificates.
-    for chain in spec.chains() {
+    for &chain in plan.chains() {
         let chain_ref = world.chain_mut(chain).map_err(DealError::Chain)?;
         cbc.validators().register_on_chain(chain_ref);
     }
@@ -129,7 +126,7 @@ pub(crate) fn drive(
         validators: cbc.initial_validators(),
     };
     let mut contracts: BTreeMap<ChainId, ContractId> = BTreeMap::new();
-    for chain in spec.chains() {
+    for &chain in plan.chains() {
         let id = world
             .chain_mut(chain)
             .map_err(DealError::Chain)?
@@ -144,13 +141,10 @@ pub(crate) fn drive(
     // ------------------------------------------------------------------
     let escrow_started = world.now();
     let gas_before = world.total_gas();
-    for e in &spec.escrows {
+    for e in plan.escrows() {
         let cfg = config_of(configs, e.owner);
         let willing = {
-            let ctx = observers
-                .entry(e.owner)
-                .or_insert_with(|| DealObserver::new(spec))
-                .ctx(world, spec, e.owner, Phase::Escrow, None);
+            let ctx = hub.ctx(world, spec, e.owner, Phase::Escrow, None);
             cfg.strategy.is_online(ctx.now) && cfg.strategy.on_escrow(&ctx)
         };
         if !willing {
@@ -161,7 +155,7 @@ pub(crate) fn drive(
             e.chain,
             Owner::Party(e.owner),
             contract,
-            |m: &mut CbcManager, ctx| m.escrow(ctx, e.asset.clone()),
+            |m: &mut CbcManager, ctx| m.escrow_interned(ctx, e.asset.clone()),
         );
         match result {
             Ok(()) => {}
@@ -180,15 +174,12 @@ pub(crate) fn drive(
     // ------------------------------------------------------------------
     let transfer_started = world.now();
     let gas_before = world.total_gas();
-    let order = spec.transfer_order()?;
+    let order = plan.transfer_order();
     for (step, idx) in order.iter().enumerate() {
-        let t = &spec.transfers[*idx];
+        let t = &plan.transfers()[*idx];
         let cfg = config_of(configs, t.from);
         let willing = {
-            let ctx = observers
-                .entry(t.from)
-                .or_insert_with(|| DealObserver::new(spec))
-                .ctx(world, spec, t.from, Phase::Transfer, None);
+            let ctx = hub.ctx(world, spec, t.from, Phase::Transfer, None);
             cfg.strategy.is_online(ctx.now) && cfg.strategy.on_transfer(&ctx)
         };
         if willing {
@@ -197,7 +188,7 @@ pub(crate) fn drive(
                 t.chain,
                 Owner::Party(t.from),
                 contract,
-                |m: &mut CbcManager, ctx| m.transfer(ctx, t.asset.clone(), t.to),
+                |m: &mut CbcManager, ctx| m.transfer_interned(ctx, &t.asset, t.to),
             );
         }
         if !opts.concurrent_transfers && step + 1 < order.len() {
@@ -214,14 +205,12 @@ pub(crate) fn drive(
     let validation_started = world.now();
     let gas_before = world.total_gas();
     let mut validated: BTreeMap<PartyId, bool> = BTreeMap::new();
-    for &p in &spec.parties {
+    for pp in plan.parties() {
+        let p = pp.id;
         let cfg = config_of(configs, p);
-        let mechanical = validation::validate_cbc(world, spec, &info, &contracts, p);
+        let mechanical = validation::validate_cbc_plan(world, pp, &info, &contracts);
         let ok = {
-            let ctx = observers
-                .entry(p)
-                .or_insert_with(|| DealObserver::new(spec))
-                .ctx(world, spec, p, Phase::Validation, Some(mechanical));
+            let ctx = hub.ctx(world, spec, p, Phase::Validation, Some(mechanical));
             cfg.strategy.on_validate(&ctx)
         };
         validated.insert(p, ok);
@@ -244,10 +233,7 @@ pub(crate) fn drive(
         }
         let verdict = validated.get(&p).copied().unwrap_or(false);
         let vote = {
-            let ctx = observers
-                .entry(p)
-                .or_insert_with(|| DealObserver::new(spec))
-                .ctx(world, spec, p, Phase::Commit, Some(verdict));
+            let ctx = hub.ctx(world, spec, p, Phase::Commit, Some(verdict));
             cfg.strategy.on_vote(&ctx)
         };
         match vote {

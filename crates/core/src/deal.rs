@@ -33,6 +33,7 @@ use crate::engine::{DealEngine, EngineRun, ProtocolExt};
 use crate::error::DealError;
 use crate::outcome::DealOutcome;
 use crate::party::PartyConfig;
+use crate::plan::DealPlan;
 use crate::setup;
 use crate::spec::DealSpec;
 
@@ -40,12 +41,18 @@ use crate::spec::DealSpec;
 ///
 /// The builder is reusable: `run` borrows it, so the same session can be
 /// executed under several engines (as the sweeps in `xchain-harness` do).
+/// The specification is fixed at [`Deal::new`], so the session resolves its
+/// [`DealPlan`] exactly once and every subsequent [`Deal::run`] reuses it.
 #[derive(Debug, Clone)]
 pub struct Deal {
     spec: DealSpec,
     network: NetworkModel,
     configs: Vec<PartyConfig>,
     seed: u64,
+    /// The session's resolved plan, filled on first use. Only the spec feeds
+    /// the plan and the spec never changes after `new`, so the cache can
+    /// never go stale. Cloning a session shares the resolved plan.
+    plan: std::sync::OnceLock<std::sync::Arc<DealPlan>>,
 }
 
 impl Deal {
@@ -57,6 +64,7 @@ impl Deal {
             network: NetworkModel::default(),
             configs: Vec::new(),
             seed: 0,
+            plan: std::sync::OnceLock::new(),
         }
     }
 
@@ -103,20 +111,52 @@ impl Deal {
         setup::world_for_spec(&self.spec, self.network, self.seed)
     }
 
+    /// The session's resolved [`DealPlan`] (validation, transfer order,
+    /// asset interning, per-party tables — all computed once per session and
+    /// cached; planning errors are not cached). Callers that share one spec
+    /// across *sessions* (the sweeps in `xchain-harness`, workload loops)
+    /// can also pass the returned plan to [`Deal::run_planned`] explicitly.
+    pub fn plan(&self) -> Result<std::sync::Arc<DealPlan>, DealError> {
+        if let Some(p) = self.plan.get() {
+            return Ok(p.clone());
+        }
+        let fresh = std::sync::Arc::new(DealPlan::new(&self.spec)?);
+        Ok(self.plan.get_or_init(|| fresh).clone())
+    }
+
     /// Builds the world and executes the deal under `engine`, returning the
     /// unified [`DealRun`]. Stateful strategies get a clean interior state
     /// for each execution ([`crate::party::fresh_configs`]), so re-running
     /// one session is deterministic and concurrent sweep cells are isolated.
     pub fn run<E: DealEngine>(&self, engine: E) -> Result<DealRun, DealError> {
+        let plan = self.plan()?;
+        self.run_planned(&plan, engine)
+    }
+
+    /// [`Deal::run`] with a caller-resolved plan: the world is built from the
+    /// plan's kind table and the engine executes straight from the plan. The
+    /// plan must come from [`Deal::plan`] on a session with this same
+    /// specification (one plan can serve many sessions that differ only in
+    /// network, parties, or seed).
+    pub fn run_planned<E: DealEngine>(
+        &self,
+        plan: &DealPlan,
+        engine: E,
+    ) -> Result<DealRun, DealError> {
+        if plan.spec() != &self.spec {
+            return Err(DealError::Config(
+                "run_planned called with a plan resolved from a different specification".into(),
+            ));
+        }
         if !engine.supports(&self.spec) {
             return Err(DealError::Config(format!(
                 "the {} engine does not support this deal specification",
                 engine.label()
             )));
         }
-        let mut world = self.build_world()?;
+        let mut world = setup::world_for_plan(plan, self.network, self.seed)?;
         let configs = crate::party::fresh_configs(&self.configs);
-        let run = engine.execute(&mut world, &self.spec, &configs)?;
+        let run = engine.execute(&mut world, plan, &configs)?;
         Ok(DealRun {
             world,
             outcome: run.outcome,
@@ -128,7 +168,9 @@ impl Deal {
     /// Executes the deal in a caller-supplied world (which must already
     /// contain the referenced chains, parties and escrowed assets). Most
     /// callers want [`Deal::run`]; this exists for scripted scenarios that
-    /// share one world across several deals.
+    /// share one world across several deals. The plan is resolved against
+    /// the *world's* kind table ([`DealPlan::for_table`]), so the interned
+    /// ids are valid whatever table the caller's world uses.
     pub fn run_in<E: DealEngine>(
         &self,
         world: &mut World,
@@ -140,8 +182,9 @@ impl Deal {
                 engine.label()
             )));
         }
+        let plan = DealPlan::for_table(&self.spec, world.kinds())?;
         let configs = crate::party::fresh_configs(&self.configs);
-        engine.execute(world, &self.spec, &configs)
+        engine.execute(world, &plan, &configs)
     }
 }
 

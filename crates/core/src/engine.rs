@@ -5,9 +5,10 @@
 //! deal abstraction; *Atomic Cross-Chain Swaps* (Herlihy, PODC 2018) adds a
 //! third, less expressive mechanism for the two-party case. This module makes
 //! that interchangeability a first-class trait: every commit protocol is a
-//! [`DealEngine`] that takes a world, a [`DealSpec`] and the parties'
-//! behaviour configurations, and produces a protocol-agnostic [`EngineRun`]
-//! (outcome + contracts + a protocol-specific [`ProtocolExt`]).
+//! [`DealEngine`] that takes a world, a pre-resolved [`crate::plan::DealPlan`]
+//! and the parties' behaviour configurations, and produces a
+//! protocol-agnostic [`EngineRun`] (outcome + contracts + a protocol-specific
+//! [`ProtocolExt`]).
 //!
 //! Most callers should not use the trait directly but go through the fluent
 //! [`crate::deal::Deal`] session builder, which also constructs the world:
@@ -35,6 +36,7 @@ use crate::cbc::{self, CbcOptions};
 use crate::error::DealError;
 use crate::outcome::{DealOutcome, ProtocolKind};
 use crate::party::PartyConfig;
+use crate::plan::DealPlan;
 use crate::spec::DealSpec;
 use crate::timelock::{self, TimelockOptions};
 
@@ -138,13 +140,16 @@ pub trait DealEngine {
         true
     }
 
-    /// Executes one deal in the given world. The world must already contain
-    /// the chains, parties and escrowed assets the specification references
-    /// (the [`crate::deal::Deal`] builder takes care of that).
+    /// Executes one deal in the given world, driving it from a pre-resolved
+    /// [`DealPlan`]. The world must already contain the chains, parties and
+    /// escrowed assets the plan references, and must have been built from the
+    /// plan's kind table (or the plan resolved against the world's — see
+    /// [`crate::setup::world_for_plan`] and [`DealPlan::for_table`]); the
+    /// [`crate::deal::Deal`] builder takes care of both.
     fn execute(
         &self,
         world: &mut World,
-        spec: &DealSpec,
+        plan: &DealPlan,
         configs: &[PartyConfig],
     ) -> Result<EngineRun, DealError>;
 }
@@ -162,10 +167,10 @@ impl<E: DealEngine + ?Sized> DealEngine for &E {
     fn execute(
         &self,
         world: &mut World,
-        spec: &DealSpec,
+        plan: &DealPlan,
         configs: &[PartyConfig],
     ) -> Result<EngineRun, DealError> {
-        (**self).execute(world, spec, configs)
+        (**self).execute(world, plan, configs)
     }
 }
 
@@ -182,10 +187,10 @@ impl<E: DealEngine + ?Sized> DealEngine for Box<E> {
     fn execute(
         &self,
         world: &mut World,
-        spec: &DealSpec,
+        plan: &DealPlan,
         configs: &[PartyConfig],
     ) -> Result<EngineRun, DealError> {
-        (**self).execute(world, spec, configs)
+        (**self).execute(world, plan, configs)
     }
 }
 
@@ -226,12 +231,12 @@ impl DealEngine for Protocol {
     fn execute(
         &self,
         world: &mut World,
-        spec: &DealSpec,
+        plan: &DealPlan,
         configs: &[PartyConfig],
     ) -> Result<EngineRun, DealError> {
         match self {
             Protocol::Timelock(opts) => {
-                let run = timelock::drive(world, spec, configs, opts)?;
+                let run = timelock::drive(world, plan, configs, opts)?;
                 Ok(EngineRun {
                     outcome: run.outcome,
                     contracts: run.contracts,
@@ -241,7 +246,7 @@ impl DealEngine for Protocol {
                 })
             }
             Protocol::Cbc(opts) => {
-                let run = cbc::drive(world, spec, configs, opts)?;
+                let run = cbc::drive(world, plan, configs, opts)?;
                 Ok(EngineRun {
                     outcome: run.outcome,
                     contracts: run.contracts,

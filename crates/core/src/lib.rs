@@ -74,6 +74,7 @@ pub mod error;
 pub mod outcome;
 pub mod party;
 pub mod phases;
+pub mod plan;
 pub mod properties;
 pub mod setup;
 pub mod spec;
@@ -89,9 +90,13 @@ pub use error::DealError;
 pub use outcome::{ChainResolution, DealOutcome, ProtocolKind};
 pub use party::{config_of, fresh_configs, Deviation, PartyConfig};
 pub use phases::{Phase, PhaseMetrics};
+pub use plan::{DealPlan, PartyPlan, PlannedEscrow, PlannedTransfer};
 pub use properties::{
     check_conservation, check_safety, check_strong_liveness, check_weak_liveness, SafetyReport,
 };
 pub use spec::{DealSpec, EscrowSpec, TransferSpec};
-pub use strategy::{strategies, DealObserver, DealView, ObservationCtx, Strategy, Vote};
+pub use strategy::{
+    strategies, DealObserver, DealView, ObservationCtx, ObservationHub, ObservedEvent, Strategy,
+    Vote,
+};
 pub use timelock::{TimelockOptions, TimelockRun};

@@ -9,6 +9,7 @@ use xchain_sim::time::Duration;
 use xchain_sim::world::World;
 
 use crate::error::DealError;
+use crate::plan::DealPlan;
 use crate::spec::DealSpec;
 
 /// Creates a world containing every chain and party the specification
@@ -21,13 +22,43 @@ pub fn world_for_spec(
     seed: u64,
 ) -> Result<World, DealError> {
     let mut world = World::with_network(seed, network);
-    let max_chain = spec.chains().iter().map(|c| c.0).max().unwrap_or(0);
+    add_chains_and_parties(&mut world, &spec.chains(), &spec.parties);
+    mint_escrow_assets(&mut world, spec)?;
+    Ok(world)
+}
+
+/// The world topology both builders share: one chain per referenced chain id
+/// (1-tick block interval, `chain-{i}` names) and one party per referenced
+/// party id. Kept in one place so plan-based and spec-based worlds can never
+/// drift apart.
+fn add_chains_and_parties(world: &mut World, chains: &[ChainId], parties: &[PartyId]) {
+    let max_chain = chains.iter().map(|c| c.0).max().unwrap_or(0);
     for i in 0..=max_chain {
         world.add_chain(&format!("chain-{i}"), Duration(1));
     }
-    let max_party = spec.parties.iter().map(|p| p.0).max().unwrap_or(0);
+    let max_party = parties.iter().map(|p| p.0).max().unwrap_or(0);
     world.add_parties(max_party as usize + 1);
-    mint_escrow_assets(&mut world, spec)?;
+}
+
+/// [`world_for_spec`] for a pre-resolved [`DealPlan`]: the world's kind table
+/// starts as a [fork] of the plan's canonical table, so every id the plan
+/// assigned is valid on all of this world's chains, and the escrow assets are
+/// minted through the interned fast path (no name resolution during setup).
+/// This is what [`crate::Deal::run`] and the sweep executor build cells from.
+///
+/// [fork]: xchain_sim::intern::KindTable::fork
+pub fn world_for_plan(
+    plan: &DealPlan,
+    network: NetworkModel,
+    seed: u64,
+) -> Result<World, DealError> {
+    let mut world = World::with_network_and_kinds(seed, network, plan.kinds().fork());
+    add_chains_and_parties(&mut world, plan.chains(), &plan.spec().parties);
+    for e in plan.escrows() {
+        world
+            .mint_interned(e.chain, Owner::Party(e.owner), &e.asset)
+            .map_err(DealError::Chain)?;
+    }
     Ok(world)
 }
 

@@ -40,11 +40,12 @@ use std::sync::Arc;
 
 use xchain_sim::asset::Asset;
 use xchain_sim::ids::{ChainId, Owner, PartyId};
-use xchain_sim::ledger::{LogCursor, LogEntry};
+use xchain_sim::ledger::{EventTag, LogCursor, LogEntry, LogFilter};
 use xchain_sim::time::Time;
 use xchain_sim::world::World;
 
 use crate::phases::Phase;
+use crate::plan::DealPlan;
 use crate::spec::DealSpec;
 
 /// A party's answer at a commit decision point.
@@ -212,6 +213,262 @@ fn ingest(view: &mut DealView, chain: ChainId, entry: &LogEntry) {
         "escrow-committed" => view.resolutions.push((chain, true)),
         "escrow-aborted" | "htlc-refunded" => view.resolutions.push((chain, false)),
         _ => {}
+    }
+}
+
+/// A deal-relevant event distilled from one log entry. The hub parses each
+/// entry **once** (on the shared ingest pass) into this `Copy` form; the
+/// per-party folds then work on parsed events instead of re-matching label
+/// strings per party.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservedEvent {
+    /// An escrow (or HTLC funding) by the party locked in.
+    Escrowed(PartyId),
+    /// A tentative transfer performed by the party.
+    Transferred(PartyId),
+    /// A commit vote by (or HTLC claim from) the party became visible.
+    Voted(PartyId),
+    /// The chain's escrow resolved: `true` for commit/claim, `false` for
+    /// abort/refund.
+    Resolved(bool),
+}
+
+impl ObservedEvent {
+    /// Parses one log entry into the event it contributes to a [`DealView`],
+    /// if any. Mirrors [`ingest`]'s label vocabulary, driven by the entry's
+    /// pre-parsed [`EventTag`] instead of the label string.
+    pub fn parse(entry: &LogEntry) -> Option<ObservedEvent> {
+        let caller = match entry.caller {
+            Owner::Party(p) => Some(p),
+            _ => None,
+        };
+        match entry.tag {
+            EventTag::Escrow | EventTag::HtlcFunded => caller.map(ObservedEvent::Escrowed),
+            EventTag::TentativeTransfer => caller.map(ObservedEvent::Transferred),
+            // data = [deal, voter, path length]
+            EventTag::CommitVote => entry
+                .data
+                .get(1)
+                .map(|&voter| ObservedEvent::Voted(PartyId(voter as u32))),
+            EventTag::HtlcClaimed => caller.map(ObservedEvent::Voted),
+            EventTag::EscrowCommitted => Some(ObservedEvent::Resolved(true)),
+            EventTag::EscrowAborted | EventTag::HtlcRefunded => {
+                Some(ObservedEvent::Resolved(false))
+            }
+            EventTag::Other => None,
+        }
+    }
+
+    /// Folds the event into a view, deduplicating exactly like [`ingest`].
+    fn fold_into(self, view: &mut DealView, chain: ChainId) {
+        match self {
+            ObservedEvent::Escrowed(p) => {
+                if !view.escrows.contains(&(chain, p)) {
+                    view.escrows.push((chain, p));
+                }
+            }
+            ObservedEvent::Transferred(p) => {
+                if !view.transfers.contains(&(chain, p)) {
+                    view.transfers.push((chain, p));
+                }
+            }
+            ObservedEvent::Voted(p) => {
+                if !view.commit_votes.contains(&p) {
+                    view.commit_votes.push(p);
+                }
+            }
+            ObservedEvent::Resolved(committed) => view.resolutions.push((chain, committed)),
+        }
+    }
+}
+
+/// Shared, label-filtered deal monitoring: **one** log ingest pass per chain,
+/// fanned out to every subscribed party's [`DealView`].
+///
+/// [`DealObserver`] gives each party its own cursors, so a deal with *n*
+/// parties reads — and string-matches — every log entry *n* times. The hub
+/// is the second half of batched log monitoring (ROADMAP): the engines keep
+/// one hub per deal, each chain has a single shared [`LogCursor`], and a
+/// refresh reads each new entry exactly once, through a [`LogFilter`]
+/// subscription covering only the deal vocabulary (entries the views would
+/// never ingest — token mints, CBC bookkeeping, foreign contracts — are
+/// skipped without being parsed). Parsed [`ObservedEvent`]s are buffered per
+/// chain; each party's view folds them in lazily at its next decision.
+///
+/// **Parity:** a party's [`DealView`] is *identical* to what its own
+/// [`DealObserver`] would have accumulated — per-party folds happen at
+/// decision time, walking the chains in the same order and the buffered
+/// events in log order, so batching changes the cost, never the view (proven
+/// by the hub/observer parity tests against adversarial traces).
+///
+/// The subscription (chains + parties) is derived from the [`DealPlan`], so
+/// the hub is built once per deal execution alongside the plan.
+#[derive(Debug, Clone)]
+pub struct ObservationHub {
+    chains: Vec<ChainId>,
+    filter: LogFilter,
+    cursors: Vec<LogCursor>,
+    /// Parsed events per chain (indexed like `chains`), in log order.
+    events: Vec<Vec<ObservedEvent>>,
+    parties: Vec<PartyId>,
+    views: Vec<DealView>,
+    /// `positions[party][chain]`: how many of `events[chain]` the party's
+    /// view has folded in.
+    positions: Vec<Vec<usize>>,
+}
+
+/// The deal vocabulary: every tag the views ingest (everything but
+/// [`EventTag::Other`]).
+fn deal_filter() -> LogFilter {
+    LogFilter::of([
+        EventTag::Escrow,
+        EventTag::TentativeTransfer,
+        EventTag::CommitVote,
+        EventTag::EscrowCommitted,
+        EventTag::EscrowAborted,
+        EventTag::HtlcFunded,
+        EventTag::HtlcClaimed,
+        EventTag::HtlcRefunded,
+    ])
+}
+
+impl ObservationHub {
+    /// A hub subscribed to the plan's chains on behalf of the plan's parties,
+    /// filtering to the deal vocabulary.
+    pub fn new(plan: &DealPlan) -> Self {
+        Self::for_parties(plan.chains().to_vec(), plan.spec().parties.clone())
+    }
+
+    /// A hub for an explicit chain and party set (tests, custom monitors).
+    pub fn for_parties(chains: Vec<ChainId>, parties: Vec<PartyId>) -> Self {
+        let n_chains = chains.len();
+        let n_parties = parties.len();
+        ObservationHub {
+            chains,
+            filter: deal_filter(),
+            cursors: vec![LogCursor::new(); n_chains],
+            events: vec![Vec::new(); n_chains],
+            parties,
+            views: vec![DealView::default(); n_parties],
+            positions: vec![vec![0; n_chains]; n_parties],
+        }
+    }
+
+    /// The label-filter subscription in force.
+    pub fn filter(&self) -> LogFilter {
+        self.filter
+    }
+
+    /// Ingests one chain's new log entries into its event buffer — the single
+    /// place the shared cursors advance and entries are parsed.
+    fn ingest_chain(
+        events: &mut Vec<ObservedEvent>,
+        cursor: &mut LogCursor,
+        filter: LogFilter,
+        world: &World,
+        chain: ChainId,
+    ) {
+        if let Ok(c) = world.chain(chain) {
+            events.extend(
+                c.log_from_filtered(cursor, filter)
+                    .filter_map(ObservedEvent::parse),
+            );
+        }
+    }
+
+    /// Folds one chain's buffered events from `pos` onward into a view — the
+    /// single place views advance, in log order per chain.
+    fn fold_chain(view: &mut DealView, events: &[ObservedEvent], pos: &mut usize, chain: ChainId) {
+        for ev in &events[*pos..] {
+            ev.fold_into(view, chain);
+        }
+        *pos = events.len();
+    }
+
+    fn party_index(&self, party: PartyId) -> usize {
+        self.parties
+            .iter()
+            .position(|&p| p == party)
+            .expect("party subscribed to the hub")
+    }
+
+    /// Reads every subscribed chain's new log entries **once**, parses them,
+    /// and buffers the resulting events. O(new entries), shared by all
+    /// parties.
+    pub fn refresh(&mut self, world: &World) {
+        for (cix, &chain) in self.chains.iter().enumerate() {
+            Self::ingest_chain(
+                &mut self.events[cix],
+                &mut self.cursors[cix],
+                self.filter,
+                world,
+                chain,
+            );
+        }
+    }
+
+    /// Folds everything `party`'s view has not seen yet (chains in
+    /// subscription order, events in log order — the [`DealObserver`]
+    /// semantics) and returns the view. Assumes [`ObservationHub::refresh`]
+    /// has run for the current world state.
+    fn catch_up(&mut self, party: PartyId) -> &DealView {
+        let pix = self.party_index(party);
+        let view = &mut self.views[pix];
+        for (cix, events) in self.events.iter().enumerate() {
+            Self::fold_chain(
+                view,
+                events,
+                &mut self.positions[pix][cix],
+                self.chains[cix],
+            );
+        }
+        &self.views[pix]
+    }
+
+    /// The party's current view without refreshing (tests, post-mortems).
+    pub fn view_of(&mut self, party: PartyId) -> &DealView {
+        self.catch_up(party)
+    }
+
+    /// Refreshes from the world and assembles the observation context for one
+    /// party's decision — the hub counterpart of [`DealObserver::ctx`].
+    /// Ingest and fold run in one fused pass over the subscribed chains
+    /// (through the same [`ObservationHub::ingest_chain`] /
+    /// [`ObservationHub::fold_chain`] steps `refresh` and `view_of` use), so
+    /// a decision with nothing new costs one cursor check per chain.
+    pub fn ctx<'a>(
+        &'a mut self,
+        world: &World,
+        spec: &'a DealSpec,
+        party: PartyId,
+        phase: Phase,
+        validated: Option<bool>,
+    ) -> ObservationCtx<'a> {
+        let pix = self.party_index(party);
+        let view = &mut self.views[pix];
+        for (cix, &chain) in self.chains.iter().enumerate() {
+            Self::ingest_chain(
+                &mut self.events[cix],
+                &mut self.cursors[cix],
+                self.filter,
+                world,
+                chain,
+            );
+            Self::fold_chain(
+                view,
+                &self.events[cix],
+                &mut self.positions[pix][cix],
+                chain,
+            );
+        }
+        ObservationCtx {
+            party,
+            phase,
+            now: world.now(),
+            spec,
+            view: &self.views[pix],
+            validated,
+        }
     }
 }
 

@@ -2,14 +2,17 @@
 //!
 //! This module drives a complete deal execution over the simulated world:
 //! clearing, escrow, tentative transfers, validation, and the vote /
-//! vote-forwarding commit phase with path-signature timeouts. Party behaviour
-//! is controlled by each [`PartyConfig`]'s [`crate::strategy::Strategy`]: at
-//! every decision point the engine refreshes the party's [`DealObserver`]
-//! (cursor-fed, O(new log entries)) and asks the strategy, so both the
-//! all-compliant executions of Theorem 5.3 and arbitrary adversarial
+//! vote-forwarding commit phase with path-signature timeouts. The engine
+//! executes from a pre-resolved [`DealPlan`] (interned assets, fixed transfer
+//! order, per-party chain tables), so no kind-name `String` is looked up
+//! after planning. Party behaviour is controlled by each [`PartyConfig`]'s
+//! [`crate::strategy::Strategy`]: at every decision point the engine consults
+//! the deal's shared [`ObservationHub`] (one label-filtered log ingest pass
+//! per chain, fanned out to every party's view) and asks the strategy, so
+//! both the all-compliant executions of Theorem 5.3 and arbitrary adversarial
 //! executions (Theorem 5.1) are produced by the same engine.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use xchain_contracts::timelock::{TimelockDealInfo, TimelockManager};
 use xchain_sim::asset::AssetBag;
@@ -23,9 +26,10 @@ use crate::error::DealError;
 use crate::outcome::{ChainResolution, DealOutcome, ProtocolKind};
 use crate::party::{config_of, PartyConfig};
 use crate::phases::{Phase, PhaseMetrics};
+use crate::plan::DealPlan;
 use crate::setup::advance_one_observation;
 use crate::spec::DealSpec;
-use crate::strategy::{DealObserver, Vote};
+use crate::strategy::{ObservationHub, Vote};
 use crate::{setup, validation};
 
 /// Tunable options for the timelock protocol engine.
@@ -81,24 +85,21 @@ pub struct TimelockRun {
 /// per-chain contracts and validation verdicts.
 pub(crate) fn drive(
     world: &mut World,
-    spec: &DealSpec,
+    plan: &DealPlan,
     configs: &[PartyConfig],
     opts: &TimelockOptions,
 ) -> Result<TimelockRun, DealError> {
-    spec.validate()?;
+    let spec = plan.spec();
     setup::check_parties_exist(world, spec)?;
     setup::check_chains_exist(world, spec)?;
     setup::apply_offline_windows(world, configs);
 
     let mut metrics = PhaseMetrics::new();
     let initial_holdings = holdings_by_party(world, spec);
-    // One observer per party: each keeps its own per-chain log cursors, so a
-    // strategy's view is both private and O(new entries) to refresh.
-    let mut observers: BTreeMap<PartyId, DealObserver> = spec
-        .parties
-        .iter()
-        .map(|&p| (p, DealObserver::new(spec)))
-        .collect();
+    // One shared hub for the whole deal: a single filtered log ingest pass
+    // per chain, fanned out to every party's private view (identical to the
+    // per-party DealObserver views, at a fraction of the cost).
+    let mut hub = ObservationHub::new(plan);
 
     // ------------------------------------------------------------------
     // Clearing phase: broadcast (D, plist, t0, ∆) and install the escrow
@@ -118,7 +119,7 @@ pub(crate) fn drive(
         delta: opts.delta,
     };
     let mut contracts: BTreeMap<ChainId, ContractId> = BTreeMap::new();
-    for chain in spec.chains() {
+    for &chain in plan.chains() {
         let id = world
             .chain_mut(chain)
             .map_err(DealError::Chain)?
@@ -134,13 +135,10 @@ pub(crate) fn drive(
     // ------------------------------------------------------------------
     let escrow_started = world.now();
     let gas_before = world.total_gas();
-    for e in &spec.escrows {
+    for e in plan.escrows() {
         let cfg = config_of(configs, e.owner);
         let willing = {
-            let ctx = observers
-                .entry(e.owner)
-                .or_insert_with(|| DealObserver::new(spec))
-                .ctx(world, spec, e.owner, Phase::Escrow, None);
+            let ctx = hub.ctx(world, spec, e.owner, Phase::Escrow, None);
             cfg.strategy.is_online(ctx.now) && cfg.strategy.on_escrow(&ctx)
         };
         if !willing {
@@ -151,7 +149,7 @@ pub(crate) fn drive(
             e.chain,
             Owner::Party(e.owner),
             contract,
-            |m: &mut TimelockManager, ctx| m.escrow(ctx, e.asset.clone()),
+            |m: &mut TimelockManager, ctx| m.escrow_interned(ctx, e.asset.clone()),
         );
         match result {
             Ok(()) => {}
@@ -170,15 +168,12 @@ pub(crate) fn drive(
     // ------------------------------------------------------------------
     let transfer_started = world.now();
     let gas_before = world.total_gas();
-    let order = spec.transfer_order()?;
+    let order = plan.transfer_order();
     for (step, idx) in order.iter().enumerate() {
-        let t = &spec.transfers[*idx];
+        let t = &plan.transfers()[*idx];
         let cfg = config_of(configs, t.from);
         let willing = {
-            let ctx = observers
-                .entry(t.from)
-                .or_insert_with(|| DealObserver::new(spec))
-                .ctx(world, spec, t.from, Phase::Transfer, None);
+            let ctx = hub.ctx(world, spec, t.from, Phase::Transfer, None);
             cfg.strategy.is_online(ctx.now) && cfg.strategy.on_transfer(&ctx)
         };
         if willing {
@@ -187,7 +182,7 @@ pub(crate) fn drive(
                 t.chain,
                 Owner::Party(t.from),
                 contract,
-                |m: &mut TimelockManager, ctx| m.transfer(ctx, t.asset.clone(), t.to),
+                |m: &mut TimelockManager, ctx| m.transfer_interned(ctx, &t.asset, t.to),
             );
         }
         // Sequential transfers: the next sender must observe this one first.
@@ -205,16 +200,14 @@ pub(crate) fn drive(
     let validation_started = world.now();
     let gas_before = world.total_gas();
     let mut validated: BTreeMap<PartyId, bool> = BTreeMap::new();
-    for &p in &spec.parties {
+    for pp in plan.parties() {
+        let p = pp.id;
         let cfg = config_of(configs, p);
         // The mechanical verdict (escrows present, deal info consistent)
         // rides in the context; the strategy decides whether to accept it.
-        let mechanical = validation::validate_timelock(world, spec, &info, &contracts, p);
+        let mechanical = validation::validate_timelock_plan(world, pp, &info, &contracts);
         let ok = {
-            let ctx = observers
-                .entry(p)
-                .or_insert_with(|| DealObserver::new(spec))
-                .ctx(world, spec, p, Phase::Validation, Some(mechanical));
+            let ctx = hub.ctx(world, spec, p, Phase::Validation, Some(mechanical));
             cfg.strategy.on_validate(&ctx)
         };
         validated.insert(p, ok);
@@ -233,28 +226,26 @@ pub(crate) fn drive(
 
     // Direct votes: each willing party votes on its incoming-asset chains
     // (or on every chain when broadcasting altruistically).
-    for &p in &spec.parties {
+    for pp in plan.parties() {
+        let p = pp.id;
         let cfg = config_of(configs, p);
         let verdict = validated.get(&p).copied().unwrap_or(false);
         let votes_commit = {
-            let ctx = observers
-                .entry(p)
-                .or_insert_with(|| DealObserver::new(spec))
-                .ctx(world, spec, p, Phase::Commit, Some(verdict));
+            let ctx = hub.ctx(world, spec, p, Phase::Commit, Some(verdict));
             cfg.strategy.is_online(ctx.now) && cfg.strategy.on_vote(&ctx) == Vote::Commit
         };
         if !votes_commit {
             continue;
         }
-        let target_chains: Vec<ChainId> = if opts.altruistic_broadcast {
-            spec.chains()
+        let target_chains: &[ChainId] = if opts.altruistic_broadcast {
+            plan.chains()
         } else {
-            spec.incoming_chains_of(p)
+            &pp.incoming_chains
         };
         let message = info.vote_message(p);
         let key = world.key_pair(p).map_err(DealError::Chain)?.clone();
         let vote = PathSignature::direct(p, &key, &message);
-        for chain in target_chains {
+        for &chain in target_chains {
             let contract = contracts[&chain];
             let result = world.call(
                 chain,
@@ -276,68 +267,77 @@ pub(crate) fn drive(
     // Forwarding rounds: each round, every willing party forwards the votes it
     // observes on its outgoing-asset chains to its incoming-asset chains.
     // Strong connectivity guarantees every vote reaches every contract within
-    // n rounds; each round costs at most ∆.
+    // n rounds; each round costs at most ∆. `accepted` mirrors the contracts'
+    // acceptance state exactly (every vote in `published` was an `Ok` commit),
+    // so the duplicate check never re-reads a contract.
+    let mut accepted: BTreeSet<(ChainId, PartyId)> =
+        published.iter().map(|v| (v.chain, v.voter)).collect();
     let n_rounds = spec.n_parties();
     for _round in 0..n_rounds {
         if all_resolved(world, &contracts) {
             break;
         }
         advance_one_observation(world);
-        let snapshot = published.clone();
-        for &p in &spec.parties {
+        // Votes observable this round are exactly those published in earlier
+        // rounds: everything pushed below carries `published_at == now` and
+        // fails the `< round_now` filter, so a prefix index replaces the
+        // cloned snapshot of every path signature.
+        let visible = published.len();
+        for pp in plan.parties() {
+            let p = pp.id;
             let cfg = config_of(configs, p);
             let verdict = validated.get(&p).copied().unwrap_or(false);
             let forwards = {
-                let ctx = observers
-                    .entry(p)
-                    .or_insert_with(|| DealObserver::new(spec))
-                    .ctx(world, spec, p, Phase::Commit, Some(verdict));
+                let ctx = hub.ctx(world, spec, p, Phase::Commit, Some(verdict));
                 cfg.strategy.is_online(ctx.now) && cfg.strategy.on_forward(&ctx)
             };
             if !forwards {
                 continue;
             }
-            let outgoing = spec.outgoing_chains_of(p);
-            let incoming = spec.incoming_chains_of(p);
+            let outgoing = &pp.outgoing_chains;
+            let incoming = &pp.incoming_chains;
             let key = world.key_pair(p).map_err(DealError::Chain)?.clone();
             let round_now = world.now();
-            let observable: Vec<&PublishedVote> = snapshot
-                .iter()
-                .filter(|v| outgoing.contains(&v.chain) && v.published_at < round_now)
+            let observable: Vec<usize> = (0..visible)
+                .filter(|&i| {
+                    let v = &published[i];
+                    outgoing.contains(&v.chain) && v.published_at < round_now
+                })
                 .collect();
-            for vote in observable {
-                for &target in &incoming {
-                    if target == vote.chain {
+            for i in observable {
+                let voter = published[i].voter;
+                let from_chain = published[i].chain;
+                // The forwarded signature does not depend on the target
+                // chain, so it is built at most once per observed vote — and
+                // not at all when every target already accepted the voter
+                // (the common case once a vote has circulated).
+                let mut forwarded: Option<PathSignature> = None;
+                for &target in incoming {
+                    if target == from_chain {
                         continue;
                     }
                     // Skip if the target contract already accepted this voter.
-                    let already = world
-                        .chain(target)
-                        .ok()
-                        .and_then(|c| {
-                            c.view(contracts[&target], |m: &TimelockManager| {
-                                m.voted().contains(&vote.voter)
-                            })
-                            .ok()
-                        })
-                        .unwrap_or(false);
-                    if already {
+                    if accepted.contains(&(target, voter)) {
                         continue;
                     }
-                    let message = info.vote_message(vote.voter);
-                    let forwarded = vote.path.forwarded_by(p, &key, &message);
+                    if forwarded.is_none() {
+                        let message = info.vote_message(voter);
+                        forwarded = Some(published[i].path.forwarded_by(p, &key, &message));
+                    }
+                    let fwd = forwarded.as_ref().expect("built above");
                     let contract = contracts[&target];
                     let result = world.call(
                         target,
                         Owner::Party(p),
                         contract,
-                        |m: &mut TimelockManager, ctx| m.commit(ctx, &forwarded),
+                        |m: &mut TimelockManager, ctx| m.commit(ctx, fwd),
                     );
                     if result.is_ok() {
+                        accepted.insert((target, voter));
                         published.push(PublishedVote {
                             chain: target,
-                            voter: vote.voter,
-                            path: forwarded,
+                            voter,
+                            path: fwd.clone(),
                             published_at: world.now(),
                         });
                     }

@@ -10,6 +10,7 @@ use xchain_sim::asset::{Asset, AssetBag};
 use xchain_sim::ids::{ChainId, ContractId, PartyId};
 use xchain_sim::world::World;
 
+use crate::plan::PartyPlan;
 use crate::spec::DealSpec;
 
 /// The assets `party` expects to receive on `chain` according to the deal
@@ -91,6 +92,53 @@ pub fn validate_timelock(
     true
 }
 
+/// The shared shape of plan-based validation: for every chain the party has
+/// incoming assets on, look up the escrow contract and ask `check` whether
+/// its state satisfies the party's pre-interned expectation. The per-chain
+/// expected bags were interned once at planning time, so `check` compares
+/// interned bags directly
+/// ([`xchain_contracts::escrow::EscrowCore::on_commit_covers`]) — no kind
+/// name is resolved and no [`AssetBag`] is allocated.
+fn validate_plan_with<M, F>(
+    world: &World,
+    party: &PartyPlan,
+    contracts: &BTreeMap<ChainId, ContractId>,
+    check: F,
+) -> bool
+where
+    M: xchain_sim::contract::Contract,
+    F: Fn(&M, &xchain_sim::intern::InternedBag) -> bool,
+{
+    party
+        .incoming_chains
+        .iter()
+        .zip(&party.expected)
+        .all(|(&chain, expected)| {
+            let Some(&contract) = contracts.get(&chain) else {
+                return false;
+            };
+            let Ok(chain_ref) = world.chain(chain) else {
+                return false;
+            };
+            chain_ref
+                .view(contract, |m: &M| check(m, expected))
+                .unwrap_or(false)
+        })
+}
+
+/// [`validate_timelock`] driven by a pre-resolved [`PartyPlan`] (see
+/// [`validate_plan_with`]).
+pub fn validate_timelock_plan(
+    world: &World,
+    party: &PartyPlan,
+    info: &TimelockDealInfo,
+    contracts: &BTreeMap<ChainId, ContractId>,
+) -> bool {
+    validate_plan_with(world, party, contracts, |m: &TimelockManager, expected| {
+        m.info() == info && m.core().on_commit_covers(party.id, expected)
+    })
+}
+
 /// Validation under the CBC protocol: same checks against the CBC escrow
 /// contracts (deal id, plist, startDeal hash, validator set, and tentative
 /// ownership of the expected incoming assets).
@@ -125,6 +173,19 @@ pub fn validate_cbc(
         }
     }
     true
+}
+
+/// [`validate_cbc`] driven by a pre-resolved [`PartyPlan`] (see
+/// [`validate_plan_with`]).
+pub fn validate_cbc_plan(
+    world: &World,
+    party: &PartyPlan,
+    info: &CbcDealInfo,
+    contracts: &BTreeMap<ChainId, ContractId>,
+) -> bool {
+    validate_plan_with(world, party, contracts, |m: &CbcManager, expected| {
+        m.info() == info && m.core().on_commit_covers(party.id, expected)
+    })
 }
 
 #[cfg(test)]

@@ -8,6 +8,12 @@
 //! declaration order alone, so a sweep's [`SweepOutcome`] is identical for
 //! every thread count.
 //!
+//! Before execution, the sweep resolves one [`DealPlan`] per specification
+//! and builds each engine once: every cell that runs a given spec reuses its
+//! plan (worlds are built from forks of the plan's kind table), and workers
+//! share the hoisted engine values instead of re-invoking the factories per
+//! cell.
+//!
 //! ```
 //! use xchain_harness::sweep::{standard_engines, Sweep};
 //! use xchain_deals::builders::{broker_spec, ring_spec};
@@ -36,6 +42,7 @@ use std::sync::{Arc, Mutex};
 use xchain_deals::engine::{DealEngine, Protocol};
 use xchain_deals::error::DealError;
 use xchain_deals::party::PartyConfig;
+use xchain_deals::plan::DealPlan;
 use xchain_deals::spec::DealSpec;
 use xchain_deals::{Deal, DealRun};
 use xchain_sim::network::NetworkModel;
@@ -52,13 +59,13 @@ pub type AdversaryScenario = (String, Vec<PartyConfig>);
 /// generation itself always happens serially before execution starts.)
 pub type AdversaryGen = Box<dyn Fn(&DealSpec) -> Vec<AdversaryScenario> + Send + Sync>;
 
-/// A thread-shareable per-cell engine factory: every worker thread builds its
-/// own engine instance for every cell it executes, so engines need not be
-/// `Sync` themselves.
-pub type EngineFactory = Arc<dyn Fn() -> Box<dyn DealEngine> + Send + Sync>;
+/// A thread-shareable engine factory. The sweep invokes each factory **once
+/// per run** (not once per cell): the produced engines are `Send + Sync` and
+/// shared by reference across worker threads, so factories exist to defer
+/// construction, not to isolate cells.
+pub type EngineFactory = Arc<dyn Fn() -> Box<dyn DealEngine + Send + Sync> + Send + Sync>;
 
-/// Wraps a cloneable engine value into an [`EngineFactory`] that hands each
-/// cell its own clone.
+/// Wraps a cloneable engine value into an [`EngineFactory`].
 pub fn engine_factory<E>(engine: E) -> EngineFactory
 where
     E: DealEngine + Clone + Send + Sync + 'static,
@@ -225,22 +232,30 @@ impl Sweep {
 
     /// Executes the full cross-product and collects every point.
     pub fn run(&self) -> Result<SweepOutcome, DealError> {
-        // Phase 1 (serial): generate scenarios, probe engine support, and
-        // enumerate the executable cells in declaration order. This fixes
-        // each cell's seed and output slot before any execution happens.
+        // Phase 1 (serial): generate scenarios, build each engine once
+        // (hoisted out of the cell loop — cells share them by reference),
+        // resolve one plan per specification (shared by every cell running
+        // that spec), and enumerate the executable cells in declaration
+        // order. This fixes each cell's seed and output slot before any
+        // execution happens.
         let scenarios: Vec<Vec<AdversaryScenario>> = self
             .specs
             .iter()
             .map(|(_, spec)| (self.adversaries)(spec))
             .collect();
-        let probes: Vec<Box<dyn DealEngine>> =
+        let engines: Vec<Box<dyn DealEngine + Send + Sync>> =
             self.engines.iter().map(|(_, make)| make()).collect();
+        let plans: Vec<DealPlan> = self
+            .specs
+            .iter()
+            .map(|(_, spec)| DealPlan::new(spec))
+            .collect::<Result<_, _>>()?;
 
         let mut cells = Vec::new();
         let mut skipped = 0;
         let mut cell = 0u64;
         for (spec_ix, (_, spec)) in self.specs.iter().enumerate() {
-            for (engine_ix, probe) in probes.iter().enumerate() {
+            for (engine_ix, probe) in engines.iter().enumerate() {
                 if !probe.supports(spec) {
                     skipped += self.networks.len() * scenarios[spec_ix].len();
                     continue;
@@ -273,7 +288,7 @@ impl Sweep {
             if first_err.lock().expect("sweep error slot").is_some() {
                 return None;
             }
-            match self.run_cell(&cells[i], &scenarios) {
+            match self.run_cell(&cells[i], &scenarios, &engines, &plans) {
                 Ok(point) => Some(point),
                 Err(e) => {
                     let mut slot = first_err.lock().expect("sweep error slot");
@@ -291,22 +306,24 @@ impl Sweep {
         Ok(SweepOutcome { points, skipped })
     }
 
-    /// Executes one enumerated cell (on whichever worker claimed it).
+    /// Executes one enumerated cell (on whichever worker claimed it), reusing
+    /// the hoisted engine and the specification's shared plan.
     fn run_cell(
         &self,
         cell: &Cell,
         scenarios: &[Vec<AdversaryScenario>],
+        engines: &[Box<dyn DealEngine + Send + Sync>],
+        plans: &[DealPlan],
     ) -> Result<SweepPoint, DealError> {
         let (spec_label, spec) = &self.specs[cell.spec_ix];
-        let (engine_label, make_engine) = &self.engines[cell.engine_ix];
+        let (engine_label, _) = &self.engines[cell.engine_ix];
         let (net_label, network) = &self.networks[cell.net_ix];
         let (adv_label, configs) = &scenarios[cell.spec_ix][cell.adv_ix];
-        let engine = make_engine();
         let run = Deal::new(spec.clone())
             .network(*network)
             .parties(configs)
             .seed(cell.seed)
-            .run(engine)?;
+            .run_planned(&plans[cell.spec_ix], &engines[cell.engine_ix])?;
         Ok(SweepPoint {
             spec: spec_label.clone(),
             engine: engine_label.clone(),
@@ -405,7 +422,7 @@ mod tests {
             fn execute(
                 &self,
                 _world: &mut World,
-                _spec: &DealSpec,
+                _plan: &DealPlan,
                 _configs: &[PartyConfig],
             ) -> Result<EngineRun, DealError> {
                 Err(DealError::Config("engine always fails".into()))

@@ -277,6 +277,7 @@ impl<'a> CallCtx<'a> {
             time: self.now,
             contract: Some(self.contract),
             caller: self.caller,
+            tag: crate::ledger::EventTag::parse(label),
             label: label.to_string(),
             data,
         });

@@ -42,7 +42,7 @@ impl fmt::Display for KindId {
 }
 
 /// The bidirectional asset-kind name ↔ [`KindId`] table.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Interner {
     names: Vec<String>,
     index: BTreeMap<String, u32>,
@@ -102,6 +102,20 @@ impl KindTable {
     /// Creates a handle to a fresh, empty interner.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A deep copy of the table: a *new* interner seeded with every
+    /// assignment made so far, after which the two tables evolve
+    /// independently. This is how a pre-resolved `DealPlan` (in
+    /// `xchain-deals`) hands every world built from it the same
+    /// name → id assignments without sharing a lock: the plan interns its
+    /// kinds once into a canonical table, and each world starts from a fork,
+    /// so the plan's ids are valid on all of them by construction.
+    pub fn fork(&self) -> KindTable {
+        let copy = self.inner.read().expect("interner lock").clone();
+        KindTable {
+            inner: Arc::new(RwLock::new(copy)),
+        }
     }
 
     /// Interns a kind name (see [`Interner::intern`]).
@@ -308,6 +322,28 @@ impl InternedBag {
         self.fungible.values().all(|v| *v == 0) && self.non_fungible.values().all(|s| s.is_empty())
     }
 
+    /// Component-wise comparison: true if `self` holds at least everything in
+    /// `other` (every fungible balance ≥ and every token set a superset) —
+    /// the id-keyed counterpart of [`AssetBag::covers`], used by the escrow
+    /// validation fast path so the per-party check never resolves a name.
+    pub fn covers(&self, other: &InternedBag) -> bool {
+        for (kind, amount) in &other.fungible {
+            if *amount > 0 && self.fungible.get(kind).copied().unwrap_or(0) < *amount {
+                return false;
+            }
+        }
+        for (kind, tokens) in &other.non_fungible {
+            let held = self.non_fungible.get(kind);
+            if !tokens
+                .iter()
+                .all(|t| held.map(|h| h.contains(t)).unwrap_or(false))
+            {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Iterates over all (kind, amount) fungible holdings.
     pub fn fungible_holdings(&self) -> impl Iterator<Item = (KindId, u64)> + '_ {
         self.fungible.iter().map(|(k, v)| (*k, *v))
@@ -369,6 +405,42 @@ mod tests {
         let b = a.clone();
         let id = a.intern("coin");
         assert_eq!(b.get("coin"), Some(id));
+    }
+
+    #[test]
+    fn fork_copies_assignments_then_diverges() {
+        let a = KindTable::new();
+        let coin = a.intern("coin");
+        let b = a.fork();
+        // Existing assignments carry over …
+        assert_eq!(b.get("coin"), Some(coin));
+        // … but new interning is independent in both directions.
+        let gold_in_b = b.intern("gold");
+        assert_eq!(a.get("gold"), None);
+        let silver_in_a = a.intern("silver");
+        assert_eq!(b.get("silver"), None);
+        // Both assigned the same next id, each in its own table.
+        assert_eq!(gold_in_b, silver_in_a);
+    }
+
+    #[test]
+    fn interned_bag_covers_mirrors_asset_bag_covers() {
+        let t = KindTable::new();
+        let mut a = InternedBag::new();
+        a.add(&t.intern_asset(&Asset::fungible("coin", 100)));
+        a.add(&t.intern_asset(&Asset::non_fungible("ticket", [1, 2])));
+        let mut b = InternedBag::new();
+        b.add(&t.intern_asset(&Asset::fungible("coin", 50)));
+        b.add(&t.intern_asset(&Asset::non_fungible("ticket", [1])));
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.covers(&a));
+        assert!(a.covers(&InternedBag::new()));
+        // A zero-amount leftover entry never blocks coverage.
+        let mut c = InternedBag::new();
+        c.add(&t.intern_asset(&Asset::fungible("dust", 5)));
+        assert!(c.remove(&t.intern_asset(&Asset::fungible("dust", 5))));
+        assert!(a.covers(&c));
     }
 
     #[test]

@@ -294,6 +294,87 @@ impl AssetLedger {
     }
 }
 
+/// The pre-parsed classification of a log entry: the protocol-relevant label
+/// vocabulary as a `Copy` enum, computed **once** when the entry is appended
+/// ([`CallCtx::emit`]) instead of string-matched by every observer that later
+/// reads it. Labels outside the deal vocabulary map to [`EventTag::Other`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventTag {
+    /// `"escrow"` — an escrow deposit locked in.
+    Escrow = 0,
+    /// `"tentative-transfer"` — a C-map transfer was performed.
+    TentativeTransfer = 1,
+    /// `"commit-vote"` — a timelock commit vote was accepted.
+    CommitVote = 2,
+    /// `"escrow-committed"` — the escrow paid out its C map.
+    EscrowCommitted = 3,
+    /// `"escrow-aborted"` — the escrow refunded its A map.
+    EscrowAborted = 4,
+    /// `"htlc-funded"` — an HTLC was funded (plays the escrow role).
+    HtlcFunded = 5,
+    /// `"htlc-claimed"` — an HTLC was claimed (plays the commit-vote role).
+    HtlcClaimed = 6,
+    /// `"htlc-refunded"` — an HTLC timed out and refunded.
+    HtlcRefunded = 7,
+    /// Any other label (`"startDeal"`, token registry events, …).
+    Other = 8,
+}
+
+impl EventTag {
+    /// Classifies a label string (the single place the label vocabulary is
+    /// string-matched).
+    pub fn parse(label: &str) -> EventTag {
+        match label {
+            "escrow" => EventTag::Escrow,
+            "tentative-transfer" => EventTag::TentativeTransfer,
+            "commit-vote" => EventTag::CommitVote,
+            "escrow-committed" => EventTag::EscrowCommitted,
+            "escrow-aborted" => EventTag::EscrowAborted,
+            "htlc-funded" => EventTag::HtlcFunded,
+            "htlc-claimed" => EventTag::HtlcClaimed,
+            "htlc-refunded" => EventTag::HtlcRefunded,
+            _ => EventTag::Other,
+        }
+    }
+}
+
+/// A subscription over [`EventTag`]s: a tiny bitset observers use to skip log
+/// entries they will never ingest (see [`Blockchain::log_from_filtered`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogFilter(u16);
+
+impl LogFilter {
+    /// The empty filter (accepts nothing).
+    pub fn none() -> Self {
+        LogFilter(0)
+    }
+
+    /// A filter accepting every tag, including [`EventTag::Other`].
+    pub fn all() -> Self {
+        LogFilter(u16::MAX)
+    }
+
+    /// A filter accepting exactly the given tags.
+    pub fn of(tags: impl IntoIterator<Item = EventTag>) -> Self {
+        let mut f = LogFilter(0);
+        for t in tags {
+            f = f.with(t);
+        }
+        f
+    }
+
+    /// This filter extended with one more tag.
+    pub fn with(self, tag: EventTag) -> Self {
+        LogFilter(self.0 | (1 << tag as u16))
+    }
+
+    /// True if the filter accepts entries with this tag.
+    pub fn accepts(&self, tag: EventTag) -> bool {
+        self.0 & (1 << tag as u16) != 0
+    }
+}
+
 /// One entry in a chain's public log. Contracts append entries via
 /// [`CallCtx::emit`]; parties monitor chains by reading the log (subject to
 /// the network model's observation delay).
@@ -309,6 +390,9 @@ pub struct LogEntry {
     pub caller: Owner,
     /// A short label, e.g. `"escrow"`, `"commit-vote"`, `"startDeal"`.
     pub label: String,
+    /// The label pre-parsed into the deal vocabulary (set at append time, so
+    /// observers never re-match the string).
+    pub tag: EventTag,
     /// Numeric payload (ids, amounts, hashes).
     pub data: Vec<u64>,
 }
@@ -344,7 +428,11 @@ pub struct Blockchain {
     /// height by the average block rate", Section 5).
     block_interval: Duration,
     assets: AssetLedger,
-    contracts: BTreeMap<ContractId, Box<dyn Contract>>,
+    /// Contracts live in `Option` slots so a call can *take* the box with one
+    /// map lookup (and put it back the same way) instead of removing and
+    /// re-inserting a tree node on every transaction. A slot is only ever
+    /// `None` for the duration of the call executing its contract.
+    contracts: BTreeMap<ContractId, Option<Box<dyn Contract>>>,
     next_contract: u64,
     gas: GasMeter,
     keys: KeyDirectory,
@@ -424,13 +512,19 @@ impl Blockchain {
         let id = ContractId(((self.id.0 as u64) << 32) | self.next_contract);
         self.next_contract += 1;
         contract.on_install(self.assets.kinds());
-        self.contracts.insert(id, Box::new(contract));
+        self.contracts.insert(id, Some(Box::new(contract)));
         id
     }
 
     /// Mints assets directly to an owner (workload setup).
     pub fn mint(&mut self, owner: Owner, asset: &Asset) -> ChainResult<()> {
         self.assets.mint(owner, asset)
+    }
+
+    /// [`Blockchain::mint`] for a pre-interned asset (plan-based world
+    /// setup: no name resolution).
+    pub fn mint_interned(&mut self, owner: Owner, asset: &InternedAsset) -> ChainResult<()> {
+        self.assets.mint_interned(owner, asset)
     }
 
     /// Read-only access to the asset ledger.
@@ -467,6 +561,21 @@ impl Blockchain {
         &self.log[start..]
     }
 
+    /// Like [`Blockchain::log_from`], but yields only the entries whose
+    /// [`EventTag`] the filter accepts. The cursor still advances past *all*
+    /// new entries — filtered-out ones are skipped, not deferred — so a
+    /// subscribed observer pays nothing for log traffic outside its
+    /// vocabulary.
+    pub fn log_from_filtered<'a>(
+        &'a self,
+        cursor: &mut LogCursor,
+        filter: LogFilter,
+    ) -> impl Iterator<Item = &'a LogEntry> {
+        self.log_from(cursor)
+            .iter()
+            .filter(move |e| filter.accepts(e.tag))
+    }
+
     /// Submits a transaction that calls contract `id`, dispatching on the
     /// concrete contract type `C`. The closure receives the downcast contract
     /// and a [`CallCtx`]; its result is the call's result. Charges the
@@ -484,19 +593,21 @@ impl Blockchain {
     where
         C: Contract,
     {
-        let mut boxed = self
+        let slot = self
             .contracts
-            .remove(&id)
+            .get_mut(&id)
             .ok_or(ChainError::UnknownContract(id))?;
-        self.gas
-            .charge_call()
-            .map_err(|(used, limit)| ChainError::OutOfGas { used, limit })?;
+        let mut boxed = slot.take().ok_or(ChainError::UnknownContract(id))?;
+        if let Err((used, limit)) = self.gas.charge_call() {
+            *self.contracts.get_mut(&id).expect("slot exists") = Some(boxed);
+            return Err(ChainError::OutOfGas { used, limit });
+        }
         let chain_now = self.chain_time(now);
         let result = {
             let concrete = match boxed.as_any_mut().downcast_mut::<C>() {
                 Some(c) => c,
                 None => {
-                    self.contracts.insert(id, boxed);
+                    *self.contracts.get_mut(&id).expect("slot exists") = Some(boxed);
                     return Err(ChainError::ContractTypeMismatch(id));
                 }
             };
@@ -513,7 +624,7 @@ impl Blockchain {
             };
             f(concrete, &mut ctx)
         };
-        self.contracts.insert(id, boxed);
+        *self.contracts.get_mut(&id).expect("slot exists") = Some(boxed);
         result
     }
 
@@ -526,6 +637,7 @@ impl Blockchain {
         let boxed = self
             .contracts
             .get(&id)
+            .and_then(|slot| slot.as_ref())
             .ok_or(ChainError::UnknownContract(id))?;
         let concrete = boxed
             .as_any()
@@ -735,6 +847,38 @@ mod tests {
                                      // A second, independent cursor still sees everything.
         let mut other = LogCursor::new();
         assert_eq!(c.log_from(&mut other).len(), 3);
+    }
+
+    #[test]
+    fn filtered_log_reads_skip_foreign_tags_but_advance_the_cursor() {
+        let mut c = chain();
+        let id = c.install(Counter::default());
+        let caller = Owner::Party(PartyId(0));
+        // The Counter emits "bump" (EventTag::Other); emit one entry.
+        c.call(Time(5), caller, id, |ctr: &mut Counter, ctx| {
+            ctr.bump(ctx, 1)
+        })
+        .unwrap();
+        assert_eq!(c.log()[0].tag, EventTag::Other);
+        let mut cursor = LogCursor::new();
+        let escrow_only = LogFilter::of([EventTag::Escrow]);
+        assert_eq!(c.log_from_filtered(&mut cursor, escrow_only).count(), 0);
+        // The cursor advanced past the skipped entry: nothing is re-delivered.
+        assert_eq!(cursor.position(), 1);
+        assert_eq!(
+            c.log_from_filtered(&mut cursor, LogFilter::all()).count(),
+            0
+        );
+        // Tag parsing covers the deal vocabulary.
+        assert_eq!(EventTag::parse("escrow"), EventTag::Escrow);
+        assert_eq!(EventTag::parse("commit-vote"), EventTag::CommitVote);
+        assert_eq!(EventTag::parse("htlc-refunded"), EventTag::HtlcRefunded);
+        assert_eq!(EventTag::parse("startDeal"), EventTag::Other);
+        // Filter membership behaves like a set.
+        let f = LogFilter::of([EventTag::Escrow, EventTag::CommitVote]);
+        assert!(f.accepts(EventTag::Escrow));
+        assert!(!f.accepts(EventTag::EscrowAborted));
+        assert!(!LogFilter::none().accepts(EventTag::Escrow));
     }
 
     #[test]

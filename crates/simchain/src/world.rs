@@ -61,6 +61,17 @@ impl World {
         w
     }
 
+    /// Creates a world whose asset-kind table starts from `kinds` (typically
+    /// a [`KindTable::fork`] of a pre-resolved deal plan's canonical table,
+    /// so every id the plan assigned is valid on this world's chains). The
+    /// table is adopted as-is: pass a fork, not a shared handle, unless you
+    /// want later interning to flow back to the source.
+    pub fn with_network_and_kinds(seed: u64, network: NetworkModel, kinds: KindTable) -> Self {
+        let mut w = World::with_network(seed, network);
+        w.kinds = kinds;
+        w
+    }
+
     /// The seed this world was created with.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -217,6 +228,16 @@ impl World {
     /// Mints assets to a party on a chain (workload setup).
     pub fn mint(&mut self, chain: ChainId, owner: Owner, asset: &Asset) -> ChainResult<()> {
         self.chain_mut(chain)?.mint(owner, asset)
+    }
+
+    /// [`World::mint`] for a pre-interned asset (plan-based world setup).
+    pub fn mint_interned(
+        &mut self,
+        chain: ChainId,
+        owner: Owner,
+        asset: &crate::intern::InternedAsset,
+    ) -> ChainResult<()> {
+        self.chain_mut(chain)?.mint_interned(owner, asset)
     }
 
     /// Submits a contract call from `caller` at the current clock, rejecting

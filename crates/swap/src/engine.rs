@@ -5,12 +5,14 @@
 //!
 //! The engine maps a two-party [`DealSpec`] onto a [`SwapSpec`] (leader =
 //! first party, follower = second), drives the classic asymmetric-timeout
-//! HTLC exchange with per-phase metrics, and honours each [`PartyConfig`]'s
+//! HTLC exchange with per-phase metrics (funding through the pre-interned
+//! assets of the [`DealPlan`]), and honours each [`PartyConfig`]'s
 //! [`xchain_deals::strategy::Strategy`]: funding asks `on_escrow`, claiming
-//! asks `on_claim`, and every answer sees the party's cursor-fed
-//! [`xchain_deals::strategy::ObservationCtx`] (a strategy that refuses to
-//! escrow never funds; one that withholds never claims). Results are
-//! reported in the same [`DealOutcome`] vocabulary as the commit protocols.
+//! asks `on_claim`, and every answer sees the party's view from the deal's
+//! shared [`xchain_deals::strategy::ObservationHub`] (a strategy that
+//! refuses to escrow never funds; one that withholds never claims). Results
+//! are reported in the same [`DealOutcome`] vocabulary as the commit
+//! protocols.
 
 use std::collections::BTreeMap;
 
@@ -19,9 +21,10 @@ use xchain_deals::error::DealError;
 use xchain_deals::outcome::{ChainResolution, DealOutcome, ProtocolKind};
 use xchain_deals::party::{config_of, PartyConfig};
 use xchain_deals::phases::{Phase, PhaseMetrics};
+use xchain_deals::plan::DealPlan;
 use xchain_deals::setup::{self, advance_one_observation};
 use xchain_deals::spec::DealSpec;
-use xchain_deals::strategy::DealObserver;
+use xchain_deals::strategy::ObservationHub;
 use xchain_sim::asset::AssetBag;
 use xchain_sim::ids::{ChainId, ContractId, Owner, PartyId};
 use xchain_sim::time::Duration;
@@ -115,10 +118,10 @@ impl DealEngine for SwapEngine {
     fn execute(
         &self,
         world: &mut World,
-        spec: &DealSpec,
+        plan: &DealPlan,
         configs: &[PartyConfig],
     ) -> Result<EngineRun, DealError> {
-        spec.validate()?;
+        let spec = plan.spec();
         let swap = Self::as_swap_spec(spec).ok_or_else(|| {
             DealError::Config("deal is not expressible as a two-party HTLC swap".into())
         })?;
@@ -126,15 +129,30 @@ impl DealEngine for SwapEngine {
         setup::check_chains_exist(world, spec)?;
         setup::apply_offline_windows(world, configs);
 
+        // The two legs' interned assets, resolved once at planning time.
+        let leader_asset = plan
+            .transfers()
+            .iter()
+            .find(|t| t.from == swap.leader)
+            .expect("as_swap_spec checked the legs")
+            .asset
+            .clone();
+        let follower_asset = plan
+            .transfers()
+            .iter()
+            .find(|t| t.from == swap.follower)
+            .expect("as_swap_spec checked the legs")
+            .asset
+            .clone();
+
         let mut metrics = PhaseMetrics::new();
         let initial_holdings = holdings_by_party(world, spec);
         let leader_cfg = config_of(configs, swap.leader);
         let follower_cfg = config_of(configs, swap.follower);
-        // Each party monitors both chains through its own log cursors; the
+        // Both parties monitor both chains through the deal's shared hub; the
         // swap has no validation phase (the hashlock validates), so every
         // observation context carries `validated: None`.
-        let mut leader_obs = DealObserver::new(spec);
-        let mut follower_obs = DealObserver::new(spec);
+        let mut hub = ObservationHub::new(plan);
 
         // --------------------------------------------------------------
         // Clearing: install the two HTLCs under one hashlock, with the
@@ -185,7 +203,7 @@ impl DealEngine for SwapEngine {
         let gas_before = world.total_gas();
         let mut leader_funded = false;
         let leader_escrows = {
-            let ctx = leader_obs.ctx(world, spec, swap.leader, Phase::Escrow, None);
+            let ctx = hub.ctx(world, spec, swap.leader, Phase::Escrow, None);
             leader_cfg.strategy.is_online(ctx.now) && leader_cfg.strategy.on_escrow(&ctx)
         };
         if leader_escrows {
@@ -194,14 +212,14 @@ impl DealEngine for SwapEngine {
                     swap.leader_chain,
                     Owner::Party(swap.leader),
                     leader_htlc,
-                    |h: &mut HtlcContract, ctx| h.fund(ctx, swap.leader_asset.clone()),
+                    |h: &mut HtlcContract, ctx| h.fund_interned(ctx, leader_asset.clone()),
                 )
                 .is_ok();
         }
         advance_one_observation(world);
         let mut follower_funded = false;
         let follower_escrows = leader_funded && {
-            let ctx = follower_obs.ctx(world, spec, swap.follower, Phase::Escrow, None);
+            let ctx = hub.ctx(world, spec, swap.follower, Phase::Escrow, None);
             follower_cfg.strategy.is_online(ctx.now) && follower_cfg.strategy.on_escrow(&ctx)
         };
         if follower_escrows {
@@ -210,7 +228,7 @@ impl DealEngine for SwapEngine {
                     swap.follower_chain,
                     Owner::Party(swap.follower),
                     follower_htlc,
-                    |h: &mut HtlcContract, ctx| h.fund(ctx, swap.follower_asset.clone()),
+                    |h: &mut HtlcContract, ctx| h.fund_interned(ctx, follower_asset.clone()),
                 )
                 .is_ok();
         }
@@ -231,7 +249,7 @@ impl DealEngine for SwapEngine {
         let gas_before = world.total_gas();
         let mut leader_claimed = false;
         let leader_claims = leader_funded && follower_funded && {
-            let ctx = leader_obs.ctx(world, spec, swap.leader, Phase::Commit, None);
+            let ctx = hub.ctx(world, spec, swap.leader, Phase::Commit, None);
             leader_cfg.strategy.is_online(ctx.now) && leader_cfg.strategy.on_claim(&ctx)
         };
         if leader_claims {
@@ -247,7 +265,7 @@ impl DealEngine for SwapEngine {
         advance_one_observation(world);
         let mut follower_claimed = false;
         let follower_claims = leader_claimed && {
-            let ctx = follower_obs.ctx(world, spec, swap.follower, Phase::Commit, None);
+            let ctx = hub.ctx(world, spec, swap.follower, Phase::Commit, None);
             follower_cfg.strategy.is_online(ctx.now) && follower_cfg.strategy.on_claim(&ctx)
         };
         if follower_claims {

@@ -75,6 +75,17 @@ impl HtlcContract {
 
     /// The depositor funds the contract.
     pub fn fund(&mut self, ctx: &mut CallCtx<'_>, asset: Asset) -> ChainResult<()> {
+        let asset = ctx.intern_asset(&asset);
+        self.fund_interned(ctx, asset)
+    }
+
+    /// [`HtlcContract::fund`] for a pre-interned asset (plan-based engines;
+    /// same checks, gas, and log entry as the named path).
+    pub fn fund_interned(
+        &mut self,
+        ctx: &mut CallCtx<'_>,
+        asset: InternedAsset,
+    ) -> ChainResult<()> {
         ctx.require(
             self.state == HtlcState::Created,
             "already funded or resolved",
@@ -84,7 +95,6 @@ impl HtlcContract {
             "only the depositor can fund",
         )?;
         ctx.require(!asset.is_empty(), "cannot fund with an empty asset")?;
-        let asset = ctx.intern_asset(&asset);
         ctx.deposit_interned_from_caller(&asset)?;
         ctx.charge_storage_write()?;
         self.asset = Some(asset);
